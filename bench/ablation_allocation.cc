@@ -1,0 +1,96 @@
+// Ablation: sampling technique shoot-out beyond the paper's four — adds
+// pure systematic sampling (SMARTS-style) and the paper's proposed
+// future-work combination SimProf+systematic (stratified allocation with
+// systematic within-phase picks), plus SimProf with proportional instead of
+// Neyman allocation.
+//
+// Expected: SimProf (Neyman) ≤ SimProf+SYS ≈ SimProf(prop) < SYSTEMATIC/SRS;
+// systematic beats SRS on drifting workloads but can alias on periodic ones.
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/stratified.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace simprof;
+
+/// SimProf variant with proportional allocation (for the ablation column).
+double proportional_error(const core::ThreadProfile& prof,
+                          const core::PhaseModel& model, std::size_t n,
+                          std::uint64_t seed) {
+  const auto strata = core::strata_of(model);
+  const auto alloc = stats::proportional_allocation(strata, n);
+  // Reuse the stratified estimator by drawing per-phase SRS with the
+  // proportional sizes.
+  std::vector<std::vector<std::size_t>> members(model.k);
+  for (std::size_t u = 0; u < model.labels.size(); ++u) {
+    members[model.labels[u]].push_back(u);
+  }
+  Rng rng(seed);
+  double est = 0.0;
+  const double total = static_cast<double>(prof.num_units());
+  for (std::size_t h = 0; h < model.k; ++h) {
+    if (alloc[h] == 0 || members[h].empty()) continue;
+    shuffle(members[h], rng);
+    const std::size_t take = std::min<std::size_t>(alloc[h],
+                                                   members[h].size());
+    const double w_h = static_cast<double>(members[h].size()) / total;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < take; ++i) {
+      mean += prof.units[members[h][i]].cpi() / static_cast<double>(take);
+    }
+    est += w_h * mean;
+  }
+  const double oracle = prof.oracle_cpi();
+  return oracle > 0.0 ? std::abs(est - oracle) / oracle : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  core::WorkloadLab lab(bench::lab_config());
+
+  std::cout << "Ablation — allocation & within-phase selection (n = "
+            << bench::kFig7SampleSize << ", mean error over "
+            << bench::kErrorRepetitions << " seeds)\n";
+  Table table({"config", "SRS", "SYSTEMATIC", "SimProf_prop", "SimProf+SYS",
+               "SimProf"});
+  double sums[5] = {};
+  for (const auto& name : bench::config_names()) {
+    const auto run = lab.run(name);
+    const auto& prof = run.profile;
+    const auto model = core::form_phases(prof);
+    double e[5] = {};
+    for (int s = 0; s < bench::kErrorRepetitions; ++s) {
+      const std::uint64_t seed = 5000 + s;
+      e[0] += core::relative_error(
+          core::srs_sample(prof, bench::kFig7SampleSize, seed), prof);
+      e[1] += core::relative_error(
+          core::systematic_sample(prof, bench::kFig7SampleSize, seed), prof);
+      e[2] += proportional_error(prof, model, bench::kFig7SampleSize, seed);
+      e[3] += core::relative_error(
+          core::simprof_systematic_sample(prof, model,
+                                          bench::kFig7SampleSize, seed),
+          prof);
+      e[4] += core::relative_error(
+          core::simprof_sample(prof, model, bench::kFig7SampleSize, seed),
+          prof);
+    }
+    std::vector<std::string> row{name};
+    for (int i = 0; i < 5; ++i) {
+      e[i] /= bench::kErrorRepetitions;
+      sums[i] += e[i];
+      row.push_back(Table::pct(e[i]));
+    }
+    table.row(std::move(row));
+  }
+  std::vector<std::string> avg{"average"};
+  for (double s : sums) {
+    avg.push_back(Table::pct(s / bench::config_names().size()));
+  }
+  table.row(std::move(avg));
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared setup for the figure-reproduction benches.
+//
+// Every bench loads profiles through one WorkloadLab (disk-cached, so the
+// oracle pass per configuration runs once across the whole suite), forms
+// phases with the paper's defaults, and prints an aligned table plus a CSV
+// block via support/table.h.
+//
+// Environment knobs:
+//   SIMPROF_SCALE      — data-volume scale (default 1.0)
+//   SIMPROF_CACHE_DIR  — profile cache directory (default .simprof_cache)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/lab.h"
+#include "core/phase.h"
+#include "core/sampling.h"
+
+namespace simprof::bench {
+
+/// Paper-order config names (Table I).
+inline const std::vector<std::string>& config_names() {
+  static const std::vector<std::string> names = {
+      "sort_hp", "sort_sp", "wc_hp",    "wc_sp",    "grep_hp", "grep_sp",
+      "bayes_hp", "bayes_sp", "cc_hp",  "cc_sp",    "rank_hp", "rank_sp"};
+  return names;
+}
+
+/// The four graph configs of the input-sensitivity study (Figs. 12/13).
+inline const std::vector<std::string>& graph_config_names() {
+  static const std::vector<std::string> names = {"cc_hp", "cc_sp", "rank_hp",
+                                                 "rank_sp"};
+  return names;
+}
+
+inline core::LabConfig lab_config() {
+  core::LabConfig cfg;
+  if (const char* s = std::getenv("SIMPROF_SCALE")) cfg.scale = atof(s);
+  return cfg;
+}
+
+/// The scaled SECOND baseline: the paper uses 10 s and the whole environment
+/// is scaled 1/100, so SECOND is 0.1 virtual seconds at the 2 GHz virtual
+/// clock.
+inline constexpr double kSecondInterval = 0.1;
+inline constexpr double kClockGhz = 2.0;
+
+/// Fig. 7 sample size (paper: 20 simulation points).
+inline constexpr std::size_t kFig7SampleSize = 20;
+
+/// Seeds used to average the probabilistic techniques in Fig. 7.
+inline constexpr int kErrorRepetitions = 7;
+
+}  // namespace simprof::bench

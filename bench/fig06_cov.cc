@@ -1,0 +1,35 @@
+// Figure 6: population / weighted / maximum coefficient of variation of CPI
+// per benchmark configuration — the phase-homogeneity analysis.
+//
+// Expected shape (paper): the weighted CoV is always below the population
+// CoV (phase formation separates performance levels), while the maximum CoV
+// shows that some phases remain non-homogeneous — the motivation for
+// stratified sampling instead of one point per phase.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/table.h"
+
+int main() {
+  using namespace simprof;
+  core::WorkloadLab lab(bench::lab_config());
+
+  std::cout << "Figure 6 — Coefficient of variation of CPIs\n";
+  Table table({"config", "population", "weighted", "maximum", "phases"});
+  double sum_pop = 0.0, sum_w = 0.0, sum_max = 0.0;
+  for (const auto& name : bench::config_names()) {
+    const auto run = lab.run(name);
+    const auto model = core::form_phases(run.profile);
+    const auto cov = core::cov_summary(run.profile, model);
+    table.row({name, Table::num(cov.population), Table::num(cov.weighted),
+               Table::num(cov.maximum), std::to_string(model.k)});
+    sum_pop += cov.population;
+    sum_w += cov.weighted;
+    sum_max += cov.maximum;
+  }
+  const double n = static_cast<double>(bench::config_names().size());
+  table.row({"average", Table::num(sum_pop / n), Table::num(sum_w / n),
+             Table::num(sum_max / n), ""});
+  table.print(std::cout);
+  return 0;
+}

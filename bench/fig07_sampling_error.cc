@@ -1,0 +1,55 @@
+// Figure 7: CPI sampling error of the four techniques at sample size 20.
+//
+// Expected shape (paper: SECOND 6.5%, SRS 8.9%, CODE 4.0%, SimProf 1.6% on
+// average): SimProf clearly lowest; SRS/SECOND/CODE each fail somewhere —
+// SECOND misses late execution stages, SRS suffers on high-variance runs,
+// CODE cannot represent phases whose performance varies under one code
+// signature. Probabilistic techniques (SRS, SimProf) are averaged over
+// several seeds so single lucky/unlucky draws don't dominate the table.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/table.h"
+
+int main() {
+  using namespace simprof;
+  core::WorkloadLab lab(bench::lab_config());
+
+  std::cout << "Figure 7 — CPI sampling error (sample size "
+            << bench::kFig7SampleSize << ")\n";
+  Table table({"config", "SECOND", "SRS", "CODE", "SimProf"});
+  double sums[4] = {};
+  for (const auto& name : bench::config_names()) {
+    const auto run = lab.run(name);
+    const auto& prof = run.profile;
+    const auto model = core::form_phases(prof);
+
+    const double e_second = core::relative_error(
+        core::second_sample(prof, bench::kSecondInterval, bench::kClockGhz),
+        prof);
+    const double e_code =
+        core::relative_error(core::code_sample(prof, model), prof);
+    double e_srs = 0.0, e_simprof = 0.0;
+    for (int s = 0; s < bench::kErrorRepetitions; ++s) {
+      e_srs += core::relative_error(
+          core::srs_sample(prof, bench::kFig7SampleSize, 1000 + s), prof);
+      e_simprof += core::relative_error(
+          core::simprof_sample(prof, model, bench::kFig7SampleSize, 1000 + s),
+          prof);
+    }
+    e_srs /= bench::kErrorRepetitions;
+    e_simprof /= bench::kErrorRepetitions;
+
+    table.row({name, Table::pct(e_second), Table::pct(e_srs),
+               Table::pct(e_code), Table::pct(e_simprof)});
+    sums[0] += e_second;
+    sums[1] += e_srs;
+    sums[2] += e_code;
+    sums[3] += e_simprof;
+  }
+  const double n = static_cast<double>(bench::config_names().size());
+  table.row({"average", Table::pct(sums[0] / n), Table::pct(sums[1] / n),
+             Table::pct(sums[2] / n), Table::pct(sums[3] / n)});
+  table.print(std::cout);
+  return 0;
+}

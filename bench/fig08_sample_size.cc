@@ -1,0 +1,41 @@
+// Figure 8: required sample size (number of sampling units) of SimProf at
+// the 99.7% confidence level for 5% and 2% error targets, against the
+// SECOND interval's unit count.
+//
+// Expected shape (paper: averages SECOND 611, SimProf@5% 85, SimProf@2%
+// 244): SimProf needs far fewer units than SECOND for most configs, with
+// cc_sp / rank_sp as the exceptions (many high-variance phases).
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/table.h"
+
+int main() {
+  using namespace simprof;
+  core::WorkloadLab lab(bench::lab_config());
+
+  std::cout << "Figure 8 — required sample size, 99.7% confidence\n";
+  Table table({"config", "total_units", "SECOND", "SimProf_0.05",
+               "SimProf_0.02"});
+  double sums[3] = {};
+  for (const auto& name : bench::config_names()) {
+    const auto run = lab.run(name);
+    const auto& prof = run.profile;
+    const auto model = core::form_phases(prof);
+    const auto second =
+        core::second_sample(prof, bench::kSecondInterval, bench::kClockGhz);
+    const auto n5 = core::required_sample_size(model, 0.05);
+    const auto n2 = core::required_sample_size(model, 0.02);
+    table.row({name, std::to_string(prof.num_units()),
+               std::to_string(second.sample_size()), std::to_string(n5),
+               std::to_string(n2)});
+    sums[0] += static_cast<double>(second.sample_size());
+    sums[1] += static_cast<double>(n5);
+    sums[2] += static_cast<double>(n2);
+  }
+  const double n = static_cast<double>(bench::config_names().size());
+  table.row({"average", "", Table::num(sums[0] / n, 0),
+             Table::num(sums[1] / n, 0), Table::num(sums[2] / n, 0)});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 9: number of phases per configuration.
+//
+// Expected shape (paper): Spark-based workloads span a much wider range
+// (grep_sp collapses to 1; cc_sp reaches the high end because GraphX uses
+// many more operations), while Hadoop workloads cluster in a narrow band —
+// only one or two map/reduce operations are defined per job.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/table.h"
+
+int main() {
+  using namespace simprof;
+  core::WorkloadLab lab(bench::lab_config());
+
+  std::cout << "Figure 9 — number of phases\n";
+  Table table({"config", "phases", "units", "best_silhouette"});
+  std::size_t spark_min = 99, spark_max = 0, hp_min = 99, hp_max = 0;
+  for (const auto& name : bench::config_names()) {
+    const auto run = lab.run(name);
+    const auto model = core::form_phases(run.profile);
+    double best = 0.0;
+    for (double s : model.silhouette_scores) best = std::max(best, s);
+    table.row({name, std::to_string(model.k),
+               std::to_string(run.profile.num_units()), Table::num(best, 2)});
+    const bool spark = name.ends_with("_sp");
+    auto& mn = spark ? spark_min : hp_min;
+    auto& mx = spark ? spark_max : hp_max;
+    mn = std::min(mn, model.k);
+    mx = std::max(mx, model.k);
+  }
+  table.print(std::cout);
+  std::cout << "spark range: [" << spark_min << ", " << spark_max
+            << "]  hadoop range: [" << hp_min << ", " << hp_max << "]\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 10: phase-type distribution — the fraction of sampling units whose
+// phase is dominated by map / reduce / sort / IO operations.
+//
+// Expected shape (paper): sort appears in Hadoop workloads (map-side
+// sort/spill) but not in Spark ones (disabled by default); Hadoop spends
+// more of its units in IO than Spark — one reason Spark outperforms Hadoop.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/table.h"
+
+int main() {
+  using namespace simprof;
+  core::WorkloadLab lab(bench::lab_config());
+
+  std::cout << "Figure 10 — phase type distribution (unit-weighted)\n";
+  Table table({"config", "map", "reduce", "sort", "io", "other"});
+  for (const auto& name : bench::config_names()) {
+    const auto run = lab.run(name);
+    const auto model = core::form_phases(run.profile);
+    double w[5] = {};  // map, reduce, sort, io, other
+    for (std::size_t h = 0; h < model.k; ++h) {
+      const double weight = model.phases[h].weight;
+      switch (model.phase_types[h]) {
+        case jvm::OpKind::kMap:
+        case jvm::OpKind::kCompute: w[0] += weight; break;
+        case jvm::OpKind::kReduce: w[1] += weight; break;
+        case jvm::OpKind::kSort: w[2] += weight; break;
+        case jvm::OpKind::kIo:
+        case jvm::OpKind::kShuffle: w[3] += weight; break;
+        default: w[4] += weight; break;
+      }
+    }
+    table.row({name, Table::pct(w[0]), Table::pct(w[1]), Table::pct(w[2]),
+               Table::pct(w[3]), Table::pct(w[4])});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 12: percentage of simulation points that fall in input-sensitive
+// phases for the graph workloads — i.e. the sample size needed per
+// *reference* input after the input-sensitivity test (Table II inputs:
+// Google trains, the other seven are references).
+//
+// Expected shape (paper): 55–80% of the points stay (the reduction is 20–45%,
+// 33.7% on average) — a large fraction of phases do not change performance
+// with the input and can be skipped when exploring new inputs.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/sensitivity.h"
+#include "data/catalog.h"
+#include "support/table.h"
+
+int main() {
+  using namespace simprof;
+  core::WorkloadLab lab(bench::lab_config());
+  const auto catalog = data::snap_catalog();
+
+  std::cout << "Figure 12 — % of simulation points in input-sensitive "
+               "phases (training input: Google)\n";
+  Table table({"config", "sensitive_points", "reduction"});
+  double total_reduction = 0.0;
+  for (const auto& name : bench::graph_config_names()) {
+    const auto train = lab.run(name, "Google");
+    const auto model = core::form_phases(train.profile);
+
+    std::vector<core::ThreadProfile> ref_profiles;
+    std::vector<std::string> ref_names;
+    for (const auto& entry : catalog) {
+      if (entry.training) continue;
+      ref_profiles.push_back(lab.run(name, entry.name).profile);
+      ref_names.push_back(entry.name);
+    }
+    std::vector<const core::ThreadProfile*> refs;
+    for (const auto& p : ref_profiles) refs.push_back(&p);
+
+    const auto report = core::input_sensitivity_test(model, refs, ref_names);
+    const auto plan =
+        core::simprof_sample(train.profile, model,
+                             bench::kFig7SampleSize, 4242);
+    const double frac = report.sensitive_point_fraction(plan);
+    table.row({name, Table::pct(frac), Table::pct(1.0 - frac)});
+    total_reduction += 1.0 - frac;
+  }
+  const double n = static_cast<double>(bench::graph_config_names().size());
+  table.row({"average", "", Table::pct(total_reduction / n)});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 13: number of input-sensitive vs input-insensitive phases per
+// graph workload, accumulated across the seven Table II reference inputs
+// (Algorithm 1).
+//
+// Expected shape (paper): for most workloads at least ~40% of the phases
+// are input-INsensitive — the headroom the Figure 12 reduction comes from.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/sensitivity.h"
+#include "data/catalog.h"
+#include "support/table.h"
+
+int main() {
+  using namespace simprof;
+  core::WorkloadLab lab(bench::lab_config());
+  const auto catalog = data::snap_catalog();
+
+  std::cout << "Figure 13 — input-sensitive vs insensitive phases "
+               "(training input: Google, 7 references)\n";
+  Table table({"config", "sensitive", "insensitive", "total",
+               "insensitive_frac"});
+  for (const auto& name : bench::graph_config_names()) {
+    const auto train = lab.run(name, "Google");
+    const auto model = core::form_phases(train.profile);
+
+    std::vector<core::ThreadProfile> ref_profiles;
+    std::vector<std::string> ref_names;
+    for (const auto& entry : catalog) {
+      if (entry.training) continue;
+      ref_profiles.push_back(lab.run(name, entry.name).profile);
+      ref_names.push_back(entry.name);
+    }
+    std::vector<const core::ThreadProfile*> refs;
+    for (const auto& p : ref_profiles) refs.push_back(&p);
+    const auto report = core::input_sensitivity_test(model, refs, ref_names);
+
+    table.row({name, std::to_string(report.num_sensitive()),
+               std::to_string(report.num_insensitive()),
+               std::to_string(model.k),
+               Table::pct(static_cast<double>(report.num_insensitive()) /
+                          static_cast<double>(model.k))});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 14: WordCount on Spark — CPI of every sampling unit with its phase
+// id, units sorted by phase.
+//
+// Expected shape (paper): one dominant phase (map-side reduce — Aggregator.
+// combineValuesByKey couples map, reduce and IO, with surprisingly stable
+// CPI) plus a small HDFS-IO phase with higher CPI variation.
+#include "fig_trace_common.h"
+
+int main() {
+  simprof::bench::print_phase_trace("wc_sp", "Figure 14");
+  return 0;
+}

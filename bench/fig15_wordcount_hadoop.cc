@@ -1,0 +1,12 @@
+// Figure 15: WordCount on Hadoop — CPI of every sampling unit with its
+// phase id, units sorted by phase.
+//
+// Expected shape (paper): a fast low-variance map phase (TokenizerMapper,
+// good locality), a combine phase (NewCombinerRunner) with higher variation,
+// and a high-CoV quicksort phase from the recursive map-side sort.
+#include "fig_trace_common.h"
+
+int main() {
+  simprof::bench::print_phase_trace("wc_hp", "Figure 15");
+  return 0;
+}

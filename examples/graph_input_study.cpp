@@ -1,0 +1,67 @@
+// Input-sensitivity study on a graph workload (Section III-D workflow):
+// train SimProf's phase model on one input, classify the sampling units of
+// reference inputs onto it, and report which phases an architect can skip
+// when simulating the other inputs.
+//
+//   $ ./build/examples/graph_input_study [workload] [scale_pow2]
+//
+// Defaults: cc_sp on 2^14-vertex Table II graphs (fast); the fig12/fig13
+// benches run the full-size version.
+#include <iostream>
+#include <string>
+
+#include "core/lab.h"
+#include "core/phase.h"
+#include "core/sampling.h"
+#include "core/sensitivity.h"
+#include "data/catalog.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace simprof;
+  const std::string workload = argc > 1 ? argv[1] : "cc_sp";
+  const std::uint32_t scale =
+      argc > 2 ? static_cast<std::uint32_t>(std::stoul(argv[2])) : 14;
+
+  core::LabConfig lab_cfg;
+  lab_cfg.graph_scale_override = scale;
+  core::WorkloadLab lab(lab_cfg);
+
+  std::cout << "training " << workload << " on Google (2^" << scale
+            << " vertices)\n";
+  const auto train = lab.run(workload, "Google");
+  const core::PhaseModel model = core::form_phases(train.profile);
+  std::cout << "phases: " << model.k << ", units: "
+            << train.profile.num_units() << "\n\n";
+
+  Table table({"reference", "units", "phase_deltas (mean%)", "sensitive"});
+  std::vector<core::ThreadProfile> refs;
+  std::vector<std::string> names;
+  for (const auto& entry : data::snap_catalog(scale)) {
+    if (entry.training) continue;
+    auto run = lab.run(workload, entry.name);
+    const auto per_phase = core::phase_sensitivity_test(model, run.profile);
+    std::string deltas, flags;
+    for (const auto& s : per_phase) {
+      deltas += (deltas.empty() ? "" : " ") + Table::num(s.mean_delta * 100, 0);
+      flags += s.sensitive ? 'S' : '-';
+    }
+    table.row({entry.name, std::to_string(run.profile.num_units()), deltas,
+               flags});
+    refs.push_back(std::move(run.profile));
+    names.push_back(entry.name);
+  }
+  table.print_aligned(std::cout);
+
+  std::vector<const core::ThreadProfile*> ref_ptrs;
+  for (const auto& r : refs) ref_ptrs.push_back(&r);
+  const auto report = core::input_sensitivity_test(model, ref_ptrs, names);
+  const auto plan = core::simprof_sample(train.profile, model, 20, 7);
+  const double frac = report.sensitive_point_fraction(plan);
+  std::cout << "\n" << report.num_sensitive() << "/" << model.k
+            << " phases are input-sensitive across the reference set\n"
+            << "simulation points needed for a new input: "
+            << Table::pct(frac) << " of the training sample ("
+            << Table::pct(1.0 - frac) << " skippable)\n";
+  return 0;
+}

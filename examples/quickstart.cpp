@@ -1,0 +1,94 @@
+// Quickstart: profile the paper's Figure 1 WordCount program on MiniSpark,
+// form phases, and pick simulation points with SimProf.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks the whole public API surface end to end:
+//   1. synthesize an input corpus,
+//   2. run WordCount (flatMap → map → reduceByKey → saveAsTextFile) on a
+//      simulated cluster with the thread profiler attached,
+//   3. cluster sampling units into phases,
+//   4. select 20 simulation points by stratified random sampling and
+//      compare the estimate against the oracle CPI.
+#include <iostream>
+
+#include "core/phase.h"
+#include "core/profile.h"
+#include "core/sampling.h"
+#include "data/text.h"
+#include "exec/cluster.h"
+#include "minispark/rdd.h"
+#include "support/table.h"
+
+int main() {
+  using namespace simprof;
+
+  // --- 1. Input data -------------------------------------------------------
+  data::TextConfig text;
+  text.num_words = 2'000'000;  // scaled stand-in for the paper's 10G text
+  text.vocabulary = 1 << 16;
+  const data::TextCorpus corpus = data::TextCorpus::synthesize(text);
+  std::cout << "corpus: " << corpus.num_docs() << " documents, "
+            << corpus.words().size() << " words\n";
+
+  // --- 2. Cluster + profiler + the Figure 1 program -----------------------
+  exec::ClusterConfig cluster_cfg;  // 4 cores, 1M-instruction sampling units
+  exec::Cluster cluster(cluster_cfg);
+  core::SamplingManager profiler(cluster.methods());
+  cluster.set_profiling_hook(&profiler);
+
+  spark::SparkContext sc(cluster);
+  auto lines = std::make_shared<spark::TextFileRDD>(sc, corpus, 14);
+  auto words = spark::flat_map<data::WordId>(
+      lines, "quickstart.WordCount.tokenize", jvm::OpKind::kMap,
+      spark::OpCost{.instrs_per_element = 1400},
+      [&corpus](const std::uint64_t& doc, std::vector<data::WordId>& out) {
+        const auto ws = corpus.doc(doc);
+        out.insert(out.end(), ws.begin(), ws.end());
+      });
+  auto pairs = spark::map<std::pair<data::WordId, std::uint64_t>>(
+      words, "quickstart.WordCount.toPair", jvm::OpKind::kMap,
+      spark::OpCost{.instrs_per_element = 9},
+      [](const data::WordId& w) { return std::make_pair(w, std::uint64_t{1}); });
+  auto counts = spark::reduce_by_key(
+      pairs, [](const std::uint64_t& a, const std::uint64_t& b) { return a + b; },
+      6, spark::OpCost{.instrs_per_element = 30});
+  const std::uint64_t written = spark::save_as_text_file(counts, 14.0);
+  cluster.finish();
+  std::cout << "wordcount wrote " << written << " distinct words\n";
+
+  // --- 3. Phase formation --------------------------------------------------
+  core::ThreadProfile profile = profiler.take_profile();
+  std::cout << "profiled " << profile.num_units() << " sampling units, "
+            << profile.num_methods() << " methods\n\n";
+
+  const core::PhaseModel model = core::form_phases(profile);
+  Table phases({"phase", "units", "weight", "mean_cpi", "cov", "type"});
+  for (std::size_t h = 0; h < model.k; ++h) {
+    phases.row({std::to_string(h), std::to_string(model.phases[h].count),
+                Table::pct(model.phases[h].weight),
+                Table::num(model.phases[h].mean_cpi),
+                Table::num(model.phases[h].cov),
+                std::string(jvm::to_string(model.phase_types[h]))});
+  }
+  phases.print_aligned(std::cout);
+
+  // --- 4. Simulation-point selection ---------------------------------------
+  const auto plan = core::simprof_sample(profile, model, 20, /*seed=*/1);
+  std::cout << "\nSimProf picked " << plan.sample_size()
+            << " simulation points (unit ids:";
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, plan.points.size());
+       ++i) {
+    std::cout << ' ' << profile.units[plan.points[i].unit_index].unit_id;
+  }
+  std::cout << " ...)\n";
+  std::cout << "oracle CPI    = " << Table::num(profile.oracle_cpi(), 4)
+            << "\nestimated CPI = " << Table::num(plan.estimated_cpi, 4)
+            << "  (error "
+            << Table::pct(core::relative_error(plan, profile), 2)
+            << ", 99.7% CI ±" << Table::num(plan.ci.margin, 4) << ")\n";
+  const auto n5 = core::required_sample_size(model, 0.05);
+  std::cout << "units needed for 5% error at 99.7% confidence: " << n5
+            << " of " << profile.num_units() << "\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "core/lab.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace simprof::core {
+
+namespace {
+constexpr std::uint32_t kCacheSchema = 4;  // bump to invalidate cached runs
+}
+
+WorkloadLab::WorkloadLab(LabConfig cfg) : cfg_(cfg) {
+  if (!cfg_.cache_dir.empty()) {
+    cache_dir_ = cfg_.cache_dir;
+  } else if (const char* env = std::getenv("SIMPROF_CACHE_DIR")) {
+    cache_dir_ = env;
+  } else {
+    cache_dir_ = ".simprof_cache";
+  }
+}
+
+exec::ClusterConfig WorkloadLab::cluster_config() const {
+  exec::ClusterConfig cc;
+  cc.memory.num_cores = cfg_.num_cores;
+  cc.seed = cfg_.seed;
+  cc.unit_instrs = cfg_.unit_instrs;
+  cc.snapshot_interval = std::max<std::uint64_t>(cfg_.unit_instrs / 10, 1);
+  return cc;
+}
+
+std::string WorkloadLab::cache_path(const std::string& workload_name,
+                                    const std::string& graph_input) const {
+  std::ostringstream key;
+  key << workload_name << '-' << graph_input << "-s" << cfg_.scale << "-seed"
+      << cfg_.seed << "-c" << cfg_.num_cores << "-g"
+      << cfg_.graph_scale_override << "-u" << cfg_.unit_instrs << "-v"
+      << kCacheSchema << ".sprf";
+  return (std::filesystem::path(cache_dir_) / key.str()).string();
+}
+
+LabRun WorkloadLab::run(const std::string& workload_name,
+                        const std::string& graph_input) {
+  const std::string path = cache_path(workload_name, graph_input);
+  if (cfg_.use_cache) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      LabRun r;
+      r.profile = ThreadProfile::load(in);
+      r.from_cache = true;
+      return r;
+    }
+  }
+
+  const workloads::WorkloadInfo& info = workloads::workload(workload_name);
+  exec::Cluster cluster(cluster_config());
+  SamplingManager manager(cluster.methods());
+  cluster.set_profiling_hook(&manager);
+
+  workloads::WorkloadParams params;
+  params.scale = cfg_.scale;
+  params.seed = cfg_.seed;
+  params.graph_input = graph_input;
+  params.graph_scale_override = cfg_.graph_scale_override;
+
+  LabRun r;
+  r.result = info.run(cluster, params);
+  r.profile = manager.take_profile();
+  SIMPROF_ENSURES(r.profile.num_units() > 0,
+                  "workload produced no sampling units: " + workload_name);
+
+  if (cfg_.use_cache) {
+    std::filesystem::create_directories(cache_dir_);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      SIMPROF_EXPECTS(static_cast<bool>(out), "cannot write profile cache");
+      r.profile.save(out);
+    }
+    std::filesystem::rename(tmp, path);
+  }
+  return r;
+}
+
+}  // namespace simprof::core

@@ -1,0 +1,59 @@
+// WorkloadLab: one-stop harness that runs a Table I workload configuration
+// under the thread profiler and returns its ThreadProfile, with a disk cache
+// so the oracle pass per (workload, input, scale, seed) runs exactly once
+// across all benches and examples.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/profile.h"
+#include "exec/cluster.h"
+#include "workloads/workloads.h"
+
+namespace simprof::core {
+
+struct LabConfig {
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  std::uint32_t num_cores = 4;
+  std::uint32_t graph_scale_override = 0;  ///< 0 = catalog default
+  /// Sampling-unit size in virtual instructions (paper: 100M, here scaled
+  /// 1/100 by default); the snapshot interval stays at unit/10.
+  std::uint64_t unit_instrs = 1'000'000;
+  /// Cache directory; empty → $SIMPROF_CACHE_DIR or ".simprof_cache".
+  std::string cache_dir;
+  bool use_cache = true;
+};
+
+struct LabRun {
+  ThreadProfile profile;
+  workloads::WorkloadResult result;  ///< zeroed when loaded from cache
+  bool from_cache = false;
+};
+
+class WorkloadLab {
+ public:
+  explicit WorkloadLab(LabConfig cfg = {});
+
+  /// Profile `workload_name` ("wc_sp", …) on `graph_input` (Table II name,
+  /// ignored by non-graph workloads). Cached on disk keyed by every
+  /// parameter that affects the run.
+  LabRun run(const std::string& workload_name,
+             const std::string& graph_input = "Google");
+
+  /// Build a cluster matching this lab's configuration (for callers that
+  /// need custom profiling setups, e.g. the trace benches).
+  exec::ClusterConfig cluster_config() const;
+
+  const LabConfig& config() const { return cfg_; }
+
+ private:
+  std::string cache_path(const std::string& workload_name,
+                         const std::string& graph_input) const;
+
+  LabConfig cfg_;
+  std::string cache_dir_;
+};
+
+}  // namespace simprof::core

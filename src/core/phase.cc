@@ -1,0 +1,266 @@
+#include "core/phase.h"
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <unordered_map>
+
+#include "stats/feature_select.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace simprof::core {
+
+stats::Matrix build_feature_matrix(const ThreadProfile& profile) {
+  stats::Matrix m(profile.num_units(), profile.num_methods());
+  for (std::size_t u = 0; u < profile.num_units(); ++u) {
+    const UnitRecord& rec = profile.units[u];
+    for (std::size_t i = 0; i < rec.methods.size(); ++i) {
+      SIMPROF_EXPECTS(rec.methods[i] < profile.num_methods(),
+                      "method id outside profile table");
+      m.at(u, rec.methods[i]) = static_cast<double>(rec.counts[i]);
+    }
+  }
+  m.normalize_rows_l1();
+  return m;
+}
+
+PhaseModel form_phases(const ThreadProfile& profile,
+                       const PhaseFormationConfig& cfg) {
+  SIMPROF_EXPECTS(profile.num_units() > 0, "cannot form phases of nothing");
+
+  // 1. Vectorize call stacks (full method space, row-normalized).
+  stats::Matrix full = build_feature_matrix(profile);
+
+  // 2. Univariate linear-regression feature selection against IPC.
+  std::vector<double> ipc(profile.num_units());
+  for (std::size_t u = 0; u < profile.num_units(); ++u) {
+    ipc[u] = profile.units[u].ipc();
+  }
+  std::vector<double> scores = stats::f_regression(full, ipc);
+  for (double& v : scores) {
+    if (v < cfg.min_f_score) v = 0.0;  // insignificant → eliminated
+  }
+  const std::vector<std::size_t> selected =
+      stats::top_k_indices(scores, cfg.top_k_features);
+
+  PhaseModel model;
+  if (selected.empty()) {
+    // No method's frequency correlates with performance: the run is
+    // performance-uniform and forms a single phase (grep in Figure 9).
+    model.k = 1;
+    model.centers = stats::Matrix(1, 0);
+    model.labels.assign(profile.num_units(), 0);
+    model.silhouette_scores = {cfg.choose_k.k1_baseline_score};
+    model.phases = phase_stats_for(profile, model.labels, 1);
+    model.phase_types = {jvm::OpKind::kMap};
+    model.representative_units = {0};
+    return model;
+  }
+  stats::Matrix features = full.select_columns(selected);
+  features.normalize_rows_l1();
+
+  // 3. Cluster with k-means, choosing k by the silhouette 90% rule.
+  Rng rng(cfg.seed);
+  stats::ChooseKResult chosen = stats::choose_k(features, rng, cfg.choose_k);
+
+  model.k = chosen.k;
+  model.silhouette_scores = std::move(chosen.scores);
+  model.centers = std::move(chosen.clustering.centers);
+  model.labels = std::move(chosen.clustering.labels);
+  model.feature_names.reserve(selected.size());
+  model.feature_kinds.reserve(selected.size());
+  for (std::size_t c : selected) {
+    model.feature_names.push_back(profile.method_names[c]);
+    model.feature_kinds.push_back(profile.method_kinds[c]);
+  }
+
+  // 4. Per-phase CPI statistics, then merge performance-equivalent phases:
+  // clusters that differ in code signature but not in CPI distribution are
+  // one stratum for sampling purposes (and one phase to an architect).
+  model.phases = phase_stats_for(profile, model.labels, model.k);
+  if (cfg.merge_threshold > 0.0 && model.k > 1) {
+    merge_equivalent_phases(model, profile, cfg.merge_threshold);
+  }
+
+  // 5. Phase typing: dominant non-framework operation by snapshot-frame
+  // share over the *full* method table (selection is for clustering only;
+  // a phase's operational identity uses everything its units executed).
+  model.phase_types = classify_phase_types(profile, model.labels, model.k);
+
+  // 6. Representative units (nearest to each center) for the CODE baseline.
+  model.representative_units.assign(model.k, 0);
+  std::vector<double> best(model.k, -1.0);
+  for (std::size_t u = 0; u < features.rows(); ++u) {
+    const std::size_t h = model.labels[u];
+    const double d2 =
+        stats::squared_distance(features.row(u), model.centers.row(h));
+    if (best[h] < 0.0 || d2 < best[h]) {
+      best[h] = d2;
+      model.representative_units[h] = u;
+    }
+  }
+  return model;
+}
+
+std::vector<double> vectorize_unit(const PhaseModel& model,
+                                   const ThreadProfile& profile,
+                                   std::size_t unit_index) {
+  SIMPROF_EXPECTS(unit_index < profile.num_units(), "unit out of range");
+  // Map model feature names to this profile's method ids once per call;
+  // callers classifying whole profiles should use classify_units (which
+  // hoists this map) — this entry point is for spot checks and tests.
+  std::unordered_map<std::string_view, std::size_t> feature_of;
+  for (std::size_t f = 0; f < model.feature_names.size(); ++f) {
+    feature_of.emplace(model.feature_names[f], f);
+  }
+  std::vector<double> v(model.feature_names.size(), 0.0);
+  const UnitRecord& rec = profile.units[unit_index];
+  for (std::size_t i = 0; i < rec.methods.size(); ++i) {
+    const auto& name = profile.method_names[rec.methods[i]];
+    if (auto it = feature_of.find(name); it != feature_of.end()) {
+      v[it->second] += static_cast<double>(rec.counts[i]);
+    }
+  }
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  if (sum > 0.0) {
+    for (double& x : v) x /= sum;
+  }
+  return v;
+}
+
+void merge_equivalent_phases(PhaseModel& model, const ThreadProfile& profile,
+                             double threshold) {
+  // Union-find over phases; equivalence by the Eq. 6-style relative test on
+  // (mean, stddev), with near-zero deviations treated as equal.
+  std::vector<std::size_t> parent(model.k);
+  for (std::size_t h = 0; h < model.k; ++h) parent[h] = h;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+
+  auto equivalent = [&](const PhaseStats& a, const PhaseStats& b) {
+    if (a.count == 0 || b.count == 0) return false;
+    const double mean_ref = std::max(a.mean_cpi, b.mean_cpi);
+    if (mean_ref <= 0.0) return true;
+    if (std::abs(a.mean_cpi - b.mean_cpi) > threshold * mean_ref) {
+      return false;
+    }
+    const double dev_ref = std::max(a.stddev_cpi, b.stddev_cpi);
+    if (dev_ref <= 0.05 * mean_ref) return true;  // both effectively tight
+    return std::abs(a.stddev_cpi - b.stddev_cpi) <= threshold * dev_ref;
+  };
+
+  for (std::size_t a = 0; a < model.k; ++a) {
+    for (std::size_t b = a + 1; b < model.k; ++b) {
+      if (equivalent(model.phases[a], model.phases[b])) {
+        parent[find(b)] = find(a);
+      }
+    }
+  }
+
+  // Compact to dense new ids.
+  std::vector<std::size_t> new_id(model.k, model.k);
+  std::size_t next = 0;
+  for (std::size_t h = 0; h < model.k; ++h) {
+    const std::size_t r = find(h);
+    if (new_id[r] == model.k) new_id[r] = next++;
+    new_id[h] = new_id[r];
+  }
+  if (next == model.k) return;  // nothing merged
+
+  // Merged centers: count-weighted averages of constituent centers.
+  stats::Matrix centers(next, model.centers.cols());
+  std::vector<double> weight(next, 0.0);
+  for (std::size_t h = 0; h < model.k; ++h) {
+    const double w = static_cast<double>(model.phases[h].count);
+    const std::size_t t = new_id[h];
+    auto dst = centers.row(t);
+    const auto src = model.centers.row(h);
+    for (std::size_t c = 0; c < centers.cols(); ++c) dst[c] += w * src[c];
+    weight[t] += w;
+  }
+  for (std::size_t t = 0; t < next; ++t) {
+    if (weight[t] <= 0.0) continue;
+    for (auto& v : centers.row(t)) v /= weight[t];
+  }
+  model.centers = std::move(centers);
+  for (auto& l : model.labels) l = new_id[l];
+  model.k = next;
+  model.phases = phase_stats_for(profile, model.labels, model.k);
+}
+
+stats::CovSummary cov_summary(const ThreadProfile& profile,
+                              const PhaseModel& model) {
+  const auto cpis = profile.cpis();
+  return stats::grouped_cov(cpis, model.labels, model.k);
+}
+
+std::vector<jvm::OpKind> classify_phase_types(
+    const ThreadProfile& profile, const std::vector<std::size_t>& labels,
+    std::size_t k) {
+  SIMPROF_EXPECTS(labels.size() == profile.num_units(),
+                  "labels/profile mismatch");
+  std::vector<std::array<double, 8>> weight(k, std::array<double, 8>{});
+  for (std::size_t u = 0; u < labels.size(); ++u) {
+    const UnitRecord& rec = profile.units[u];
+    for (std::size_t i = 0; i < rec.methods.size(); ++i) {
+      const auto kind = profile.method_kinds[rec.methods[i]];
+      weight[labels[u]][static_cast<std::size_t>(kind)] +=
+          static_cast<double>(rec.counts[i]);
+    }
+  }
+  std::vector<jvm::OpKind> types(k, jvm::OpKind::kFramework);
+  for (std::size_t h = 0; h < k; ++h) {
+    double best = 0.0;
+    for (std::size_t kind = 0; kind < 8; ++kind) {
+      if (static_cast<jvm::OpKind>(kind) == jvm::OpKind::kFramework) continue;
+      if (weight[h][kind] > best) {
+        best = weight[h][kind];
+        types[h] = static_cast<jvm::OpKind>(kind);
+      }
+    }
+    // Shuffle traffic is IO in the paper's 4-type taxonomy (Section IV-D).
+    if (types[h] == jvm::OpKind::kShuffle) types[h] = jvm::OpKind::kIo;
+  }
+  return types;
+}
+
+std::vector<PhaseStats> phase_stats_for(const ThreadProfile& profile,
+                                        const std::vector<std::size_t>& labels,
+                                        std::size_t k) {
+  SIMPROF_EXPECTS(labels.size() == profile.num_units(),
+                  "labels/profile mismatch");
+  std::vector<std::vector<double>> groups(k);
+  for (std::size_t u = 0; u < labels.size(); ++u) {
+    SIMPROF_EXPECTS(labels[u] < k, "label out of range");
+    groups[labels[u]].push_back(profile.units[u].cpi());
+  }
+  std::vector<PhaseStats> out(k);
+  const double n = static_cast<double>(profile.num_units());
+  for (std::size_t h = 0; h < k; ++h) {
+    out[h].count = groups[h].size();
+    out[h].mean_cpi = stats::mean(groups[h]);
+    out[h].stddev_cpi = stats::sample_stddev(groups[h]);
+    // Trimmed deviation: drop ~5% of units from each tail (at least one per
+    // side once the phase has a handful of units).
+    auto& g = groups[h];
+    std::sort(g.begin(), g.end());
+    const std::size_t trim =
+        g.size() >= 8 ? std::max<std::size_t>(1, g.size() / 20) : 0;
+    if (trim > 0 && g.size() > 2 * trim) {
+      out[h].trimmed_stddev_cpi = stats::sample_stddev(
+          std::span<const double>(g.data() + trim, g.size() - 2 * trim));
+    } else {
+      out[h].trimmed_stddev_cpi = out[h].stddev_cpi;
+    }
+    out[h].cov = out[h].mean_cpi > 0.0 ? out[h].stddev_cpi / out[h].mean_cpi
+                                       : 0.0;
+    out[h].weight = n > 0.0 ? static_cast<double>(out[h].count) / n : 0.0;
+  }
+  return out;
+}
+
+}  // namespace simprof::core

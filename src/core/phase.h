@@ -1,0 +1,108 @@
+// Phase formation (Section III-B): vectorize sampling-unit call stacks into
+// method-frequency feature vectors, select the top-K methods most correlated
+// with IPC (univariate linear-regression test), and cluster units into
+// phases with k-means, choosing k by the silhouette rule.
+//
+// Also implements the phase-homogeneity analysis of Figure 6 (population /
+// weighted / maximum CoV of CPI) and the dominant-operation phase typing of
+// Figure 10.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+#include "stats/descriptive.h"
+#include "stats/kmeans.h"
+#include "stats/matrix.h"
+
+namespace simprof::core {
+
+struct PhaseFormationConfig {
+  std::size_t top_k_features = 100;  ///< paper: K = 100
+  /// Minimum univariate F-statistic for a method to survive selection.
+  /// Methods whose frequency does not significantly correlate with IPC are
+  /// eliminated (the paper drops the executor/task start-up methods this
+  /// way); profiles where *no* method passes are performance-uniform and
+  /// collapse to a single phase, like grep in the paper's Figure 9.
+  double min_f_score = 2.0;
+  /// Post-clustering refinement: phases whose CPI mean and deviation are
+  /// within this relative threshold of each other are merged — stratifying
+  /// over performance-identical strata buys nothing (same 10% equivalence
+  /// rule as the paper's Eq. 6). 0 disables merging.
+  double merge_threshold = 0.10;
+  stats::ChooseKConfig choose_k;     ///< defaults: k ≤ 20, 90% rule
+  std::uint64_t seed = 0x51eedULL;   ///< k-means seeding
+};
+
+/// Per-phase CPI statistics (the paper's N_h, μ_h, σ_h, CoV_h).
+struct PhaseStats {
+  std::size_t count = 0;     ///< N_h — units in the phase
+  double mean_cpi = 0.0;     ///< μ_h
+  double stddev_cpi = 0.0;   ///< s_h (sample stddev, Eq. 5)
+  /// 5%-trimmed sample stddev: the Eq. 6 dispersion comparison uses this —
+  /// raw σ is dominated by rare scheduling/migration outliers whose count
+  /// fluctuates run to run, which would make the input-sensitivity test fire
+  /// on noise rather than on input-dependent behaviour.
+  double trimmed_stddev_cpi = 0.0;
+  double cov = 0.0;          ///< s_h / μ_h
+  double weight = 0.0;       ///< N_h / N
+};
+
+/// A fitted phase model: everything needed to sample (Section III-C) and to
+/// classify units of other inputs (Section III-D). Self-contained — feature
+/// identities are method *names*, so a model built on one profile can
+/// classify profiles whose method tables differ.
+struct PhaseModel {
+  std::size_t k = 0;
+  std::vector<std::string> feature_names;  ///< selected methods, in order
+  std::vector<jvm::OpKind> feature_kinds;
+  stats::Matrix centers;                   ///< k × |features|
+  std::vector<std::size_t> labels;         ///< per training unit
+  std::vector<PhaseStats> phases;          ///< per phase
+  std::vector<double> silhouette_scores;   ///< per candidate k (k = 1 first)
+
+  /// Dominant operation type per phase, from center weights (Figure 10).
+  std::vector<jvm::OpKind> phase_types;
+
+  /// The training unit nearest each center (the CODE baseline's pick).
+  std::vector<std::size_t> representative_units;
+};
+
+/// Full method-frequency matrix (units × methods), L1-row-normalized.
+stats::Matrix build_feature_matrix(const ThreadProfile& profile);
+
+/// Fit phases on a profile.
+PhaseModel form_phases(const ThreadProfile& profile,
+                       const PhaseFormationConfig& cfg = {});
+
+/// Vectorize one unit into a model's feature space (L1-normalized over the
+/// selected features; methods are matched by name).
+std::vector<double> vectorize_unit(const PhaseModel& model,
+                                   const ThreadProfile& profile,
+                                   std::size_t unit_index);
+
+/// Figure 6: population / weighted / maximum CoV of CPI for a clustering.
+stats::CovSummary cov_summary(const ThreadProfile& profile,
+                              const PhaseModel& model);
+
+/// Dominant non-framework OpKind per phase by snapshot-frame share (the
+/// Figure 10 taxonomy; shuffle folds into IO).
+std::vector<jvm::OpKind> classify_phase_types(
+    const ThreadProfile& profile, const std::vector<std::size_t>& labels,
+    std::size_t k);
+
+/// Merge phases whose CPI distributions are equivalent within `threshold`
+/// (relative, Eq. 6-style). Rewrites centers/labels/phases in place; called
+/// by form_phases and exposed for ablation studies.
+void merge_equivalent_phases(PhaseModel& model, const ThreadProfile& profile,
+                             double threshold);
+
+/// Recompute per-phase stats for an arbitrary (profile, labels) pairing —
+/// used by the input-sensitivity unit classification.
+std::vector<PhaseStats> phase_stats_for(const ThreadProfile& profile,
+                                        const std::vector<std::size_t>& labels,
+                                        std::size_t k);
+
+}  // namespace simprof::core

@@ -1,0 +1,139 @@
+#include "core/profile.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "support/assert.h"
+#include "support/serialize.h"
+
+namespace simprof::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x53505246;  // "SPRF"
+constexpr std::uint32_t kVersion = 3;
+}  // namespace
+
+std::vector<double> ThreadProfile::cpis() const {
+  std::vector<double> out;
+  out.reserve(units.size());
+  for (const auto& u : units) out.push_back(u.cpi());
+  return out;
+}
+
+double ThreadProfile::oracle_cpi() const {
+  if (units.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& u : units) acc += u.cpi();
+  return acc / static_cast<double>(units.size());
+}
+
+std::uint64_t ThreadProfile::total_cycles() const {
+  std::uint64_t acc = 0;
+  for (const auto& u : units) acc += u.counters.cycles;
+  return acc;
+}
+
+std::uint64_t ThreadProfile::total_instructions() const {
+  std::uint64_t acc = 0;
+  for (const auto& u : units) acc += u.counters.instructions;
+  return acc;
+}
+
+void ThreadProfile::save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u64(method_names.size());
+  for (std::size_t i = 0; i < method_names.size(); ++i) {
+    w.str(method_names[i]);
+    w.u8(static_cast<std::uint8_t>(method_kinds[i]));
+  }
+  w.u64(units.size());
+  for (const auto& u : units) {
+    w.u64(u.unit_id);
+    w.u64(u.counters.instructions);
+    w.u64(u.counters.cycles);
+    w.u64(u.counters.line_touches);
+    w.u64(u.counters.l1_misses);
+    w.u64(u.counters.l2_misses);
+    w.u64(u.counters.llc_misses);
+    w.u64(u.counters.migrations);
+    w.vec_u32(u.methods);
+    w.vec_u32(u.counts);
+  }
+}
+
+ThreadProfile ThreadProfile::load(std::istream& in) {
+  BinaryReader r(in);
+  SIMPROF_EXPECTS(r.u32() == kMagic, "not a SimProf profile");
+  SIMPROF_EXPECTS(r.u32() == kVersion, "profile version mismatch");
+  ThreadProfile p;
+  const auto methods = r.u64();
+  p.method_names.reserve(methods);
+  p.method_kinds.reserve(methods);
+  for (std::uint64_t i = 0; i < methods; ++i) {
+    p.method_names.push_back(r.str());
+    p.method_kinds.push_back(static_cast<jvm::OpKind>(r.u8()));
+  }
+  const auto units = r.u64();
+  p.units.reserve(units);
+  for (std::uint64_t i = 0; i < units; ++i) {
+    UnitRecord u;
+    u.unit_id = r.u64();
+    u.counters.instructions = r.u64();
+    u.counters.cycles = r.u64();
+    u.counters.line_touches = r.u64();
+    u.counters.l1_misses = r.u64();
+    u.counters.l2_misses = r.u64();
+    u.counters.llc_misses = r.u64();
+    u.counters.migrations = r.u64();
+    u.methods = r.vec_u32();
+    u.counts = r.vec_u32();
+    SIMPROF_EXPECTS(u.methods.size() == u.counts.size(),
+                    "corrupt unit record");
+    p.units.push_back(std::move(u));
+  }
+  return p;
+}
+
+void SamplingManager::on_snapshot(std::span<const jvm::MethodId> stack) {
+  ++snapshots_;
+  for (jvm::MethodId m : stack) ++current_histogram_[m];
+}
+
+void SamplingManager::on_unit_boundary(const hw::PmuCounters& delta) {
+  UnitRecord u;
+  u.unit_id = units_.size();
+  u.counters = delta;
+  u.methods.reserve(current_histogram_.size());
+  u.counts.reserve(current_histogram_.size());
+  // Deterministic order: sorted by method id.
+  std::vector<std::pair<jvm::MethodId, std::uint32_t>> entries(
+      current_histogram_.begin(), current_histogram_.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [m, c] : entries) {
+    u.methods.push_back(m);
+    u.counts.push_back(c);
+  }
+  units_.push_back(std::move(u));
+  current_histogram_.clear();
+}
+
+ThreadProfile SamplingManager::take_profile() {
+  ThreadProfile p;
+  p.units = std::move(units_);
+  units_ = {};
+  current_histogram_.clear();
+  const std::size_t n = registry_->size();
+  p.method_names.reserve(n);
+  p.method_kinds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<jvm::MethodId>(i);
+    p.method_names.push_back(registry_->name(id));
+    p.method_kinds.push_back(registry_->kind(id));
+  }
+  return p;
+}
+
+}  // namespace simprof::core

@@ -1,0 +1,49 @@
+#include "data/catalog.h"
+
+#include "support/assert.h"
+
+namespace simprof::data {
+
+std::vector<CatalogEntry> snap_catalog(std::uint32_t scale_override) {
+  // Initiators: a controls hub concentration (web graphs high), b/c control
+  // cross-links (social networks high), d spreads mass to the tail; `noise`
+  // moves the degree distribution toward regular (road networks nearly
+  // uniform, edge_factor ≈ 2 like real road graphs). Seeds differ so no two
+  // inputs share an edge stream.
+  // Edge factors are kept in a moderate band (8–18): the paper normalizes
+  // its synthesized inputs to comparable volumes so that the sensitivity
+  // study measures topology, not raw data size.
+  std::vector<CatalogEntry> cat = {
+      {"Google", "Web graph", true,
+       {0.57, 0.19, 0.19, 0.05, 15, 14.0, 0.02, 101}},
+      {"Facebook", "Social Network", false,
+       {0.45, 0.25, 0.25, 0.05, 14, 18.0, 0.05, 102}},
+      {"Flickr", "Online communities", false,
+       {0.52, 0.22, 0.20, 0.06, 14, 16.0, 0.04, 103}},
+      {"Wikipedia", "Online encyclopedia", false,
+       {0.60, 0.18, 0.17, 0.05, 15, 12.0, 0.03, 104}},
+      {"DBLP", "Computer science bibliography", false,
+       {0.42, 0.24, 0.24, 0.10, 14, 10.0, 0.08, 105}},
+      {"Stanford", "Web graph", false,
+       {0.56, 0.20, 0.19, 0.05, 14, 14.0, 0.02, 106}},
+      {"Amazon", "Product co-purchasing networks", false,
+       {0.40, 0.23, 0.23, 0.14, 14, 9.0, 0.10, 107}},
+      {"Road", "Road Networks", false,
+       {0.30, 0.25, 0.25, 0.20, 15, 8.0, 0.35, 108}},
+  };
+  if (scale_override != 0) {
+    for (auto& e : cat) e.kron.scale = scale_override;
+  }
+  return cat;
+}
+
+CatalogEntry catalog_entry(std::string_view name,
+                           std::uint32_t scale_override) {
+  for (auto& e : snap_catalog(scale_override)) {
+    if (e.name == name) return e;
+  }
+  SIMPROF_EXPECTS(false, "unknown catalog input: " + std::string(name));
+  return {};
+}
+
+}  // namespace simprof::data

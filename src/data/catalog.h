@@ -1,0 +1,36 @@
+// The Table II input catalog: Kronecker stand-ins for the SNAP seed graphs.
+//
+// The paper downloads eight SNAP graphs, then synthesizes Kronecker graphs
+// with matching connectivity. We cannot ship the SNAP data, so each catalog
+// entry is a Kronecker parameterization whose initiator/edge-factor choices
+// follow the published character of the seed graph (heavy-tailed web graphs,
+// community-rich social networks, near-regular road networks, …). "Google"
+// is the training input, the remaining seven are reference inputs — exactly
+// the paper's split.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/kronecker.h"
+
+namespace simprof::data {
+
+struct CatalogEntry {
+  std::string name;         ///< Table II input name
+  std::string input_type;   ///< Table II "Input Type" column
+  bool training = false;    ///< Google is the training input
+  KroneckerConfig kron;     ///< synthesis parameters
+};
+
+/// All eight Table II inputs, in paper order. `scale_override`, when
+/// non-zero, replaces each entry's vertex scale (tests use small graphs,
+/// benches use the full scaled-down sizes).
+std::vector<CatalogEntry> snap_catalog(std::uint32_t scale_override = 0);
+
+/// Lookup by name (case-sensitive, e.g. "Google"). Aborts on unknown names.
+CatalogEntry catalog_entry(std::string_view name,
+                           std::uint32_t scale_override = 0);
+
+}  // namespace simprof::data

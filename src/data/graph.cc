@@ -1,0 +1,90 @@
+#include "data/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.h"
+
+namespace simprof::data {
+
+Graph Graph::from_edges(VertexId num_vertices, std::vector<Edge> edges,
+                        bool symmetrize) {
+  if (symmetrize) {
+    const std::size_t n = edges.size();
+    edges.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (edges[i].src != edges[i].dst) {
+        edges.push_back(Edge{edges[i].dst, edges[i].src});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  g.neighbors_.reserve(edges.size());
+  for (const Edge& e : edges) {
+    SIMPROF_EXPECTS(e.src < num_vertices && e.dst < num_vertices,
+                    "edge endpoint out of range");
+    ++g.offsets_[e.src + 1];
+    g.neighbors_.push_back(e.dst);
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  SIMPROF_ENSURES(g.offsets_.back() == g.neighbors_.size(),
+                  "CSR construction mismatch");
+  return g;
+}
+
+std::span<const VertexId> Graph::neighbors(VertexId v) const {
+  SIMPROF_EXPECTS(v < num_vertices(), "vertex out of range");
+  return {neighbors_.data() + offsets_[v],
+          static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+}
+
+std::uint32_t Graph::out_degree(VertexId v) const {
+  SIMPROF_EXPECTS(v < num_vertices(), "vertex out of range");
+  return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+  VertexId find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);  // keep the smaller id as root
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+std::vector<VertexId> connected_components_ground_truth(const Graph& g) {
+  UnionFind uf(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) uf.unite(v, u);
+  }
+  std::vector<VertexId> labels(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) labels[v] = uf.find(v);
+  return labels;
+}
+
+}  // namespace simprof::data

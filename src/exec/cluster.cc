@@ -1,0 +1,69 @@
+#include "exec/cluster.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace simprof::exec {
+
+Cluster::Cluster(const ClusterConfig& cfg)
+    : cfg_(cfg), memory_(cfg.memory), scheduler_rng_(cfg.seed) {
+  SIMPROF_EXPECTS(cfg.unit_instrs > 0 && cfg.snapshot_interval > 0,
+                  "intervals must be positive");
+  SIMPROF_EXPECTS(cfg.unit_instrs % cfg.snapshot_interval == 0,
+                  "unit size must be a multiple of the snapshot interval");
+  SIMPROF_EXPECTS(cfg.profiled_core < cfg.memory.num_cores,
+                  "profiled core out of range");
+  contexts_.reserve(cfg.memory.num_cores);
+  for (std::uint32_t c = 0; c < cfg.memory.num_cores; ++c) {
+    contexts_.push_back(
+        std::make_unique<ExecutorContext>(*this, c, scheduler_rng_.split()));
+  }
+}
+
+ExecutorContext& Cluster::context(std::uint32_t core) {
+  SIMPROF_EXPECTS(core < contexts_.size(), "core out of range");
+  return *contexts_[core];
+}
+
+void Cluster::run_stage(std::string_view stage_name, std::vector<Task> tasks,
+                        bool thread_per_task) {
+  (void)stage_name;  // retained for tracing/debug builds
+  const std::uint32_t cores = num_cores();
+
+  // Deal tasks to cores round-robin, then run wave by wave. Within a wave
+  // all tasks are concurrent in virtual time; host execution order is
+  // core-major and deterministic.
+  std::size_t next = 0;
+  while (next < tasks.size()) {
+    const std::uint32_t wave_width = static_cast<std::uint32_t>(
+        std::min<std::size_t>(cores, tasks.size() - next));
+    memory_.set_llc_pressure(wave_width);
+    for (std::uint32_t c = 0; c < wave_width; ++c) {
+      ExecutorContext& ctx = *contexts_[c];
+      if (thread_per_task) ctx.begin_new_thread();
+      Task& t = tasks[next + c];
+      SIMPROF_ASSERT(static_cast<bool>(t.body), "task without a body");
+      t.body(ctx);
+    }
+    next += wave_width;
+  }
+  memory_.set_llc_pressure(1);
+}
+
+void Cluster::finish() {
+  // Fire a trailing unit boundary if the profiled thread has a partial unit
+  // at least one snapshot long; shorter tails carry too few call stacks to
+  // vectorize and are dropped, mirroring the paper's fixed-size units.
+  ExecutorContext& ctx = *contexts_[cfg_.profiled_core];
+  if (hook_ == nullptr) return;
+  const std::uint64_t into_unit =
+      ctx.counters().instructions % cfg_.unit_instrs;
+  if (into_unit >= cfg_.snapshot_interval) {
+    hook_->on_unit_boundary(
+        ctx.counters().delta_since(ctx.unit_start_counters_));
+    ctx.unit_start_counters_ = ctx.counters();
+  }
+}
+
+}  // namespace simprof::exec

@@ -1,0 +1,120 @@
+#include "exec/executor_context.h"
+
+#include <algorithm>
+
+#include "exec/cluster.h"
+#include "support/assert.h"
+
+namespace simprof::exec {
+
+ExecutorContext::ExecutorContext(Cluster& cluster, std::uint32_t core, Rng rng)
+    : cluster_(cluster), core_(core), rng_(rng) {
+  next_snapshot_at_ = cluster_.config().snapshot_interval;
+  next_unit_at_ = cluster_.config().unit_instrs;
+}
+
+bool ExecutorContext::is_profiled() const {
+  return core_ == cluster_.config().profiled_core;
+}
+
+jvm::MethodId ExecutorContext::method(std::string_view name,
+                                      jvm::OpKind kind) {
+  return cluster_.methods().intern(name, kind);
+}
+
+hw::AddressSpace& ExecutorContext::address_space() {
+  return cluster_.address_space();
+}
+
+std::uint64_t ExecutorContext::pipeline_slice_instrs() const {
+  return std::max<std::uint64_t>(cluster_.config().snapshot_interval / 4, 1);
+}
+
+void ExecutorContext::execute(std::uint64_t instrs, hw::AccessStream* stream) {
+  if (instrs == 0) {
+    // Still drain the stream so kernels can emit pure-traffic work.
+    if (stream != nullptr && is_profiled()) {
+      hw::MemRef ref;
+      double cycles = 0.0;
+      while (stream->next(ref)) {
+        cycles += cluster_.memory().access(core_, ref);
+        ++counters_.line_touches;
+      }
+      charge_cycles(cycles);
+    }
+    return;
+  }
+
+  const auto& cost = cluster_.memory().config().cost;
+
+  if (!is_profiled()) {
+    // Functional-only execution: advance the clock, skip cache simulation.
+    counters_.instructions += instrs;
+    charge_cycles(static_cast<double>(instrs) * cost.base_cpi);
+    return;
+  }
+
+  const std::uint64_t total_refs = stream ? stream->total_refs() : 0;
+  std::uint64_t done = 0;
+  std::uint64_t refs_done = 0;
+  hw::MemRef ref;
+
+  while (done < instrs) {
+    // Advance to the nearest profiling boundary.
+    std::uint64_t step = instrs - done;
+    const std::uint64_t ip = counters_.instructions;
+    SIMPROF_ASSERT(next_snapshot_at_ > ip && next_unit_at_ > ip,
+                   "boundary bookkeeping fell behind");
+    step = std::min(step, next_snapshot_at_ - ip);
+    step = std::min(step, next_unit_at_ - ip);
+
+    // References apportioned evenly across the chunk's instructions.
+    double cycles = static_cast<double>(step) * cost.base_cpi;
+    if (total_refs > 0) {
+      const std::uint64_t target =
+          static_cast<std::uint64_t>(static_cast<__uint128_t>(total_refs) *
+                                     (done + step) / instrs);
+      while (refs_done < target && stream->next(ref)) {
+        cycles += cluster_.memory().access(core_, ref);
+        ++refs_done;
+        ++counters_.line_touches;
+      }
+    }
+    // Miss counters are read off the cache models lazily at boundaries; the
+    // per-level miss deltas are maintained here for unit records.
+    counters_.l1_misses = cluster_.memory().l1(core_).stats().misses;
+    counters_.l2_misses = cluster_.memory().l2(core_).stats().misses;
+    counters_.llc_misses = cluster_.memory().llc().stats().misses;
+
+    counters_.instructions += step;
+    done += step;
+    charge_cycles(cycles);
+    maybe_fire_boundaries();
+  }
+}
+
+void ExecutorContext::maybe_fire_boundaries() {
+  const auto& cfg = cluster_.config();
+  const std::uint64_t ip = counters_.instructions;
+  ProfilingHook* hook = cluster_.profiling_hook();
+
+  if (ip >= next_snapshot_at_) {
+    if (hook != nullptr) hook->on_snapshot(stack_.frames());
+    next_snapshot_at_ += cfg.snapshot_interval;
+  }
+  if (ip >= next_unit_at_) {
+    if (hook != nullptr) {
+      hook->on_unit_boundary(counters_.delta_since(unit_start_counters_));
+    }
+    unit_start_counters_ = counters_;
+    next_unit_at_ += cfg.unit_instrs;
+    // OS scheduling noise: occasionally the executor thread is migrated to
+    // another core; its private caches go cold (Section III-B.1).
+    if (rng_.next_bool(cfg.migration_prob_per_unit)) {
+      cluster_.memory().migrate(core_);
+      ++counters_.migrations;
+    }
+  }
+}
+
+}  // namespace simprof::exec

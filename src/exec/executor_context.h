@@ -1,0 +1,111 @@
+// ExecutorContext: the simulated executor thread a workload kernel runs on.
+//
+// Kernels interact with the simulation exclusively through this type:
+//   * `method(...)` + jvm::MethodScope maintain the shadow call stack,
+//   * `execute(instrs, stream)` retires virtual instructions and replays the
+//     kernel's memory traffic through the cache hierarchy,
+//   * snapshot and sampling-unit boundaries fire the profiling hooks that
+//     SimProf's thread profiler (Section III-A) subscribes to.
+//
+// Only the *profiled* core pays for cache simulation and snapshotting; other
+// cores advance instruction counts for schedule bookkeeping but execute
+// functionally. Their LLC interference on the profiled thread is modeled by
+// the cluster's wave-pressure mechanism (see cluster.h).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hw/access_stream.h"
+#include "hw/memory_system.h"
+#include "jvm/call_stack.h"
+#include "jvm/method.h"
+#include "support/rng.h"
+
+namespace simprof::exec {
+
+class Cluster;
+class PipelineBatcher;
+
+/// Subscriber for profiling events on the profiled executor thread.
+class ProfilingHook {
+ public:
+  virtual ~ProfilingHook() = default;
+  /// Called every snapshot interval with the live call stack (JVMTI-style).
+  virtual void on_snapshot(std::span<const jvm::MethodId> stack) = 0;
+  /// Called at each sampling-unit boundary with the unit's counter deltas.
+  virtual void on_unit_boundary(const hw::PmuCounters& delta) = 0;
+};
+
+class ExecutorContext final : public jvm::StackTraceSource {
+ public:
+  ExecutorContext(Cluster& cluster, std::uint32_t core, Rng rng);
+
+  std::uint32_t core() const { return core_; }
+  bool is_profiled() const;
+
+  jvm::CallStack& stack() { return stack_; }
+  std::span<const jvm::MethodId> get_stack_trace() const override {
+    return stack_.frames();
+  }
+
+  /// Intern a method in the cluster-wide registry.
+  jvm::MethodId method(std::string_view name, jvm::OpKind kind);
+
+  /// Retire `instrs` virtual instructions whose memory traffic is described
+  /// by `stream` (may be null for pure-compute work). References are spread
+  /// evenly across the instruction range; snapshot/unit boundaries fire
+  /// in-order as they are crossed.
+  void execute(std::uint64_t instrs, hw::AccessStream* stream);
+
+  /// Pure-compute convenience.
+  void compute(std::uint64_t instrs) { execute(instrs, nullptr); }
+
+  /// Deterministic per-core random stream (data-dependent access patterns).
+  Rng& rng() { return rng_; }
+
+  /// Cluster-wide simulated address space for data-structure regions.
+  hw::AddressSpace& address_space();
+
+  const hw::PmuCounters& counters() const { return counters_; }
+  std::uint64_t instructions() const { return counters_.instructions; }
+
+  /// Virtual thread identity: Spark keeps one thread per core for the whole
+  /// job; Hadoop starts a fresh thread per task (the profiler merges them).
+  std::uint64_t thread_id() const { return thread_id_; }
+  void begin_new_thread() { ++thread_id_; }
+
+  /// Active pipeline batcher (see exec/pipeline.h), or null when operators
+  /// should charge immediately. Managed by PipelineScope.
+  PipelineBatcher* batcher() const { return batcher_; }
+  void set_batcher(PipelineBatcher* b) { batcher_ = b; }
+
+  /// Recommended flush slice: well under the snapshot interval so sampling
+  /// units observe the interleaved pipeline mixture.
+  std::uint64_t pipeline_slice_instrs() const;
+
+ private:
+  friend class Cluster;
+
+  void charge_cycles(double cycles) {
+    cycles_acc_ += cycles;
+    counters_.cycles = static_cast<std::uint64_t>(cycles_acc_);
+  }
+  void maybe_fire_boundaries();
+
+  Cluster& cluster_;
+  std::uint32_t core_;
+  Rng rng_;
+  jvm::CallStack stack_;
+  hw::PmuCounters counters_;
+  double cycles_acc_ = 0.0;
+  std::uint64_t thread_id_ = 0;
+  PipelineBatcher* batcher_ = nullptr;
+
+  // Profiling bookkeeping (profiled core only).
+  std::uint64_t next_snapshot_at_ = 0;
+  std::uint64_t next_unit_at_ = 0;
+  hw::PmuCounters unit_start_counters_;
+};
+
+}  // namespace simprof::exec

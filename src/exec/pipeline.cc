@@ -1,0 +1,108 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+
+#include "jvm/call_stack.h"
+#include "support/assert.h"
+
+namespace simprof::exec {
+
+void PipelineBatcher::add(jvm::MethodId method, std::uint64_t instrs,
+                          std::unique_ptr<hw::AccessStream> stream) {
+  Item item;
+  item.frames = prefix_;
+  item.frames.push_back(method);
+  item.instrs = instrs;
+  if (stream) {
+    item.refs_total = stream->total_refs();
+    item.stream = std::move(stream);
+  }
+  if (item.instrs == 0 && item.refs_total == 0) return;
+  items_.push_back(std::move(item));
+}
+
+void PipelineBatcher::flush(ExecutorContext& ctx,
+                            std::uint64_t slice_instrs) {
+  SIMPROF_EXPECTS(slice_instrs > 0, "slice must be positive");
+  // Proportional interleaving: every item finishes in the same number of
+  // rounds, so the mixture seen by each sampling window matches each
+  // operator's share of the pipeline — a fused iterator's time profile.
+  std::uint64_t max_instrs = 0;
+  for (const Item& item : items_) {
+    max_instrs = std::max(max_instrs, item.instrs);
+  }
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(1, (max_instrs + slice_instrs - 1) /
+                                     slice_instrs);
+  std::vector<std::uint64_t> per_round(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    per_round[i] =
+        std::max<std::uint64_t>(1, (items_[i].instrs + rounds - 1) / rounds);
+  }
+
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t idx = 0; idx < items_.size(); ++idx) {
+      Item& item = items_[idx];
+      const std::uint64_t left = item.instrs - item.charged;
+      const std::uint64_t refs_left = item.refs_total - item.refs_served;
+      if (left == 0 && refs_left == 0) continue;
+      any = true;
+
+      // Jittered slice size: constant slices alias with the snapshot
+      // period and every snapshot would land in the same item, badly
+      // skewing the sampled mixture (a real sampling profiler's timer
+      // jitter provides the same decorrelation).
+      const auto jittered = static_cast<std::uint64_t>(
+          static_cast<double>(per_round[idx]) *
+          ctx.rng().next_double(0.6, 1.4));
+      const std::uint64_t step =
+          std::min(left, std::max<std::uint64_t>(jittered, 1));
+      // References proportional to instruction progress (all remaining refs
+      // on the last slice).
+      std::uint64_t quota = refs_left;
+      if (left > step && item.instrs > 0) {
+        quota = static_cast<std::uint64_t>(
+            static_cast<__uint128_t>(item.refs_total) *
+            (item.charged + step) / item.instrs);
+        quota = quota > item.refs_served ? quota - item.refs_served : 0;
+        quota = std::min(quota, refs_left);
+      }
+
+      // MethodScope is non-movable; push/pop the frame chain manually.
+      for (jvm::MethodId m : item.frames) ctx.stack().push(m);
+      if (item.stream && quota > 0) {
+        QuotaStream slice_stream(*item.stream, quota);
+        ctx.execute(step, &slice_stream);
+        item.refs_served += quota;
+      } else {
+        ctx.execute(step, nullptr);
+      }
+      for (std::size_t i = 0; i < item.frames.size(); ++i) ctx.stack().pop();
+      item.charged += step;
+
+      // Degenerate case: refs but no instructions — drain in one go.
+      if (item.instrs == 0 && item.stream) {
+        QuotaStream all(*item.stream, refs_left);
+        for (jvm::MethodId m : item.frames) ctx.stack().push(m);
+        ctx.execute(0, &all);
+        for (std::size_t i = 0; i < item.frames.size(); ++i) ctx.stack().pop();
+        item.refs_served = item.refs_total;
+      }
+    }
+  }
+  items_.clear();
+}
+
+void PipelineScope::finish() {
+  if (finished_) return;
+  finished_ = true;
+  ctx_.set_batcher(previous_);
+  if (!batcher_.empty()) {
+    // Slices well below the snapshot interval so units sample the mixture.
+    batcher_.flush(ctx_, ctx_.pipeline_slice_instrs());
+  }
+}
+
+}  // namespace simprof::exec

@@ -1,0 +1,39 @@
+#include "hw/cache.h"
+
+#include <algorithm>
+
+namespace simprof::hw {
+
+Cache::Cache(const CacheConfig& cfg)
+    : cfg_(cfg),
+      sets_(cfg.num_sets()),
+      effective_ways_(cfg.ways),
+      ways_(sets_ * cfg.ways, kInvalid) {}
+
+bool Cache::access(LineAddr line) {
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  LineAddr* base = ways_.data() + set * cfg_.ways;
+
+  // Search MRU→LRU; only the first effective_ways_ slots count as resident.
+  for (std::uint32_t i = 0; i < cfg_.ways; ++i) {
+    if (base[i] != line) continue;
+    const bool hit = i < effective_ways_;
+    // Move to MRU position.
+    std::rotate(base, base + i, base + i + 1);
+    if (hit) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;  // present but outside the pressured capacity
+    }
+    return hit;
+  }
+  // Miss: insert at MRU, shifting everything down (LRU way falls off).
+  std::rotate(base, base + cfg_.ways - 1, base + cfg_.ways);
+  base[0] = line;
+  ++stats_.misses;
+  return false;
+}
+
+void Cache::flush() { std::fill(ways_.begin(), ways_.end(), kInvalid); }
+
+}  // namespace simprof::hw

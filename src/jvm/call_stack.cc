@@ -1,0 +1,17 @@
+#include "jvm/call_stack.h"
+
+#include "support/assert.h"
+
+namespace simprof::jvm {
+
+void CallStack::pop() {
+  SIMPROF_EXPECTS(!frames_.empty(), "pop on empty call stack");
+  frames_.pop_back();
+}
+
+MethodId CallStack::top() const {
+  SIMPROF_EXPECTS(!frames_.empty(), "top on empty call stack");
+  return frames_.back();
+}
+
+}  // namespace simprof::jvm

@@ -1,0 +1,58 @@
+// Shadow call stacks + the JVMTI-like stack-trace interface.
+//
+// Workload kernels maintain their simulated thread's call stack with RAII
+// MethodScope guards; SimProf's call-stack collector reads it through
+// StackTraceSource::get_stack_trace — the same shape as JVMTI GetStackTrace,
+// which is all the real agent uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "jvm/method.h"
+
+namespace simprof::jvm {
+
+class CallStack {
+ public:
+  void push(MethodId m) { frames_.push_back(m); }
+  void pop();
+
+  std::size_t depth() const { return frames_.size(); }
+  bool empty() const { return frames_.empty(); }
+
+  /// Outermost frame first (index 0 = thread entry point).
+  std::span<const MethodId> frames() const { return frames_; }
+
+  /// Innermost (currently executing) frame.
+  MethodId top() const;
+
+ private:
+  std::vector<MethodId> frames_;
+};
+
+/// RAII frame guard. Non-copyable, non-movable: a stack frame cannot outlive
+/// or migrate out of its lexical scope.
+class MethodScope {
+ public:
+  MethodScope(CallStack& stack, MethodId m) : stack_(stack) { stack_.push(m); }
+  ~MethodScope() { stack_.pop(); }
+
+  MethodScope(const MethodScope&) = delete;
+  MethodScope& operator=(const MethodScope&) = delete;
+
+ private:
+  CallStack& stack_;
+};
+
+/// JVMTI-GetStackTrace-shaped read interface: SimProf's collector depends on
+/// this, not on the execution engine, so any substrate that can produce
+/// stacks (a real JVMTI agent, a trace replayer) plugs in.
+class StackTraceSource {
+ public:
+  virtual ~StackTraceSource() = default;
+  virtual std::span<const MethodId> get_stack_trace() const = 0;
+};
+
+}  // namespace simprof::jvm

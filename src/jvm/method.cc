@@ -1,0 +1,38 @@
+#include "jvm/method.h"
+
+#include "support/assert.h"
+
+namespace simprof::jvm {
+
+std::string_view to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kFramework: return "framework";
+    case OpKind::kMap: return "map";
+    case OpKind::kReduce: return "reduce";
+    case OpKind::kSort: return "sort";
+    case OpKind::kIo: return "io";
+    case OpKind::kShuffle: return "shuffle";
+    case OpKind::kCompute: return "compute";
+  }
+  return "unknown";
+}
+
+MethodId MethodRegistry::intern(std::string_view qualified_name, OpKind kind) {
+  if (auto existing = interner_.find(qualified_name)) {
+    SIMPROF_EXPECTS(kinds_[*existing] == kind,
+                    "method re-registered with a different OpKind: " +
+                        std::string(qualified_name));
+    return *existing;
+  }
+  const MethodId id = interner_.intern(qualified_name);
+  kinds_.push_back(kind);
+  SIMPROF_ENSURES(kinds_.size() == interner_.size(), "registry out of sync");
+  return id;
+}
+
+OpKind MethodRegistry::kind(MethodId id) const {
+  SIMPROF_EXPECTS(id < kinds_.size(), "unknown method id");
+  return kinds_[id];
+}
+
+}  // namespace simprof::jvm

@@ -1,0 +1,52 @@
+// Method identity for the simulated managed runtime.
+//
+// A real SimProf deployment keys call-stack frames on JVMTI jmethodIDs and
+// resolves them to fully-qualified names. Here the workload kernels register
+// their methods once (name + operation kind) and push/pop them on shadow
+// call stacks. The OpKind tag drives the paper's Figure 10 phase-type
+// classification (map/reduce/sort/IO).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/interner.h"
+
+namespace simprof::jvm {
+
+using MethodId = std::uint32_t;
+
+/// Dominant-operation category of a method (Section IV-D: phases are typed
+/// by their dominant operation).
+enum class OpKind : std::uint8_t {
+  kFramework,  ///< scheduler/executor plumbing — never performance-dominant
+  kMap,
+  kReduce,
+  kSort,
+  kIo,
+  kShuffle,
+  kCompute,  ///< numeric kernels (pagerank contribs, bayes likelihoods)
+};
+
+std::string_view to_string(OpKind kind);
+
+/// Interns method names and remembers each method's OpKind. One registry per
+/// simulated JVM; ids are dense and stable for the lifetime of the registry.
+class MethodRegistry {
+ public:
+  /// Register (or re-find) a method. Re-registering with a different kind is
+  /// a contract violation — method identity is global in a JVM.
+  MethodId intern(std::string_view qualified_name, OpKind kind);
+
+  const std::string& name(MethodId id) const { return interner_.name(id); }
+  OpKind kind(MethodId id) const;
+  std::size_t size() const { return interner_.size(); }
+
+ private:
+  StringInterner interner_;
+  std::vector<OpKind> kinds_;
+};
+
+}  // namespace simprof::jvm

@@ -1,0 +1,43 @@
+#include "minihadoop/hadoop.h"
+
+namespace simprof::hadoop {
+
+HadoopMethods::HadoopMethods(jvm::MethodRegistry& reg)
+    : yarn_child(reg.intern("org.apache.hadoop.mapred.YarnChild.main",
+                            jvm::OpKind::kFramework)),
+      map_task_run(reg.intern("org.apache.hadoop.mapred.MapTask.run",
+                              jvm::OpKind::kFramework)),
+      record_reader(reg.intern(
+          "org.apache.hadoop.mapreduce.lib.input.LineRecordReader.nextKeyValue",
+          jvm::OpKind::kIo)),
+      output_collect(reg.intern(
+          "org.apache.hadoop.mapred.MapTask$MapOutputBuffer.collect",
+          jvm::OpKind::kFramework)),
+      // sortAndSpill itself is orchestration; the sorting work shows up in
+      // the nested QuickSort frames (keeps Figure 10 frame shares honest).
+      sort_and_spill(reg.intern(
+          "org.apache.hadoop.mapred.MapTask$MapOutputBuffer.sortAndSpill",
+          jvm::OpKind::kFramework)),
+      quick_sort(reg.intern("org.apache.hadoop.util.QuickSort.sortInternal",
+                            jvm::OpKind::kSort)),
+      combiner_run(reg.intern(
+          "org.apache.hadoop.mapred.Task$NewCombinerRunner.combine",
+          jvm::OpKind::kReduce)),
+      ifile_append(reg.intern("org.apache.hadoop.mapred.IFile$Writer.append",
+                              jvm::OpKind::kIo)),
+      codec_compress(reg.intern(
+          "org.apache.hadoop.io.compress.SnappyCodec.compress",
+          jvm::OpKind::kIo)),
+      merger_merge(reg.intern(
+          "org.apache.hadoop.mapred.Merger$MergeQueue.merge",
+          jvm::OpKind::kSort)),
+      reduce_task_run(reg.intern("org.apache.hadoop.mapred.ReduceTask.run",
+                                 jvm::OpKind::kFramework)),
+      shuffle_fetch(reg.intern(
+          "org.apache.hadoop.mapreduce.task.reduce.Shuffle.run",
+          jvm::OpKind::kShuffle)),
+      output_write(reg.intern(
+          "org.apache.hadoop.mapreduce.lib.output.TextOutputFormat$LineRecordWriter.write",
+          jvm::OpKind::kIo)) {}
+
+}  // namespace simprof::hadoop

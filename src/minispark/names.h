@@ -1,0 +1,51 @@
+// Pre-interned Spark framework method names.
+//
+// Names follow the real Spark call stacks the paper shows in Figure 5 and
+// discusses in Section IV-F (Executor$TaskRunner, Aggregator.
+// combineValuesByKey, shuffle reader/writer, HDFS IO), so SimProf phase
+// centers resolve to recognizable methods.
+#pragma once
+
+#include "jvm/method.h"
+
+namespace simprof::spark {
+
+struct SparkMethods {
+  explicit SparkMethods(jvm::MethodRegistry& reg)
+      : executor_run(reg.intern("org.apache.spark.executor.Executor$TaskRunner.run",
+                                jvm::OpKind::kFramework)),
+        shuffle_map_task(reg.intern("org.apache.spark.scheduler.ShuffleMapTask.runTask",
+                                    jvm::OpKind::kFramework)),
+        result_task(reg.intern("org.apache.spark.scheduler.ResultTask.runTask",
+                               jvm::OpKind::kFramework)),
+        hadoop_rdd_read(reg.intern("org.apache.spark.rdd.HadoopRDD.compute",
+                                   jvm::OpKind::kIo)),
+        combine_values(reg.intern("org.apache.spark.Aggregator.combineValuesByKey",
+                                  jvm::OpKind::kReduce)),
+        combine_combiners(reg.intern("org.apache.spark.Aggregator.combineCombinersByKey",
+                                     jvm::OpKind::kReduce)),
+        shuffle_write(reg.intern("org.apache.spark.shuffle.sort.SortShuffleWriter.write",
+                                 jvm::OpKind::kShuffle)),
+        shuffle_read(reg.intern("org.apache.spark.shuffle.BlockStoreShuffleReader.read",
+                                jvm::OpKind::kShuffle)),
+        serialize(reg.intern("org.apache.spark.serializer.JavaSerializationStream.writeObject",
+                             jvm::OpKind::kIo)),
+        hdfs_write(reg.intern("org.apache.hadoop.hdfs.DFSOutputStream.write",
+                              jvm::OpKind::kIo)),
+        external_sort(reg.intern("org.apache.spark.util.collection.ExternalSorter.insertAll",
+                                 jvm::OpKind::kSort)) {}
+
+  jvm::MethodId executor_run;
+  jvm::MethodId shuffle_map_task;
+  jvm::MethodId result_task;
+  jvm::MethodId hadoop_rdd_read;
+  jvm::MethodId combine_values;
+  jvm::MethodId combine_combiners;
+  jvm::MethodId shuffle_write;
+  jvm::MethodId shuffle_read;
+  jvm::MethodId serialize;
+  jvm::MethodId hdfs_write;
+  jvm::MethodId external_sort;
+};
+
+}  // namespace simprof::spark

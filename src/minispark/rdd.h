@@ -1,0 +1,939 @@
+// MiniSpark RDD layer: lazy lineage, narrow transformation pipelining, and
+// shuffle-boundary stage splitting — the programming model of the paper's
+// Figure 1.
+//
+// Functional semantics are real (collect() returns the actual records);
+// simulated cost is charged alongside: source scans stream their input
+// regions through the cache model, per-element instruction budgets cover the
+// user lambdas, map-side combiners generate growing-hash-table traffic, and
+// shuffles serialize/deserialize through simulated spill regions.
+//
+// Template instantiations are intentionally few (the six workloads use a
+// handful of K/V combinations), so keeping this header-only is cheap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "data/text.h"
+#include "exec/kernels.h"
+#include "exec/pipeline.h"
+#include "jvm/call_stack.h"
+#include "minispark/spark_context.h"
+#include "support/assert.h"
+
+namespace simprof::spark {
+
+template <typename T>
+class RDD;
+template <typename T>
+using RddPtr = std::shared_ptr<RDD<T>>;
+
+/// Per-operation cost hints supplied by the workload author.
+struct OpCost {
+  double instrs_per_element = 20;  ///< user-fn body
+  double record_bytes = 12;        ///< serialized element size (shuffle/IO)
+  double aux_bytes_per_element = 0;  ///< auxiliary random-access state
+};
+
+/// A shuffle dependency that may still need its map-side stage run.
+class ShuffleDep {
+ public:
+  virtual ~ShuffleDep() = default;
+  virtual bool materialized() const = 0;
+  virtual void run_map_stage() = 0;
+};
+
+class RDDBase {
+ public:
+  explicit RDDBase(SparkContext& sc) : sc_(sc), id_(sc.next_rdd_id()) {}
+  virtual ~RDDBase() = default;
+
+  RDDBase(const RDDBase&) = delete;
+  RDDBase& operator=(const RDDBase&) = delete;
+
+  virtual std::size_t num_partitions() const = 0;
+
+  /// Append un-materialized shuffle dependencies in topological order
+  /// (ancestors first). `seen` de-duplicates diamond lineage.
+  virtual void collect_pending_shuffles(
+      std::vector<ShuffleDep*>& out,
+      std::unordered_set<const void*>& seen) const = 0;
+
+  SparkContext& context() const { return sc_; }
+  int id() const { return id_; }
+
+ protected:
+  SparkContext& sc_;
+  int id_;
+};
+
+template <typename T>
+class RDD : public RDDBase {
+ public:
+  using element_type = T;
+  using RDDBase::RDDBase;
+
+  /// Compute partition p inside a task running on `ctx`. Charges simulated
+  /// cost as a side effect and returns the real records.
+  virtual std::vector<T> compute(std::size_t p,
+                                 exec::ExecutorContext& ctx) = 0;
+};
+
+namespace detail {
+
+inline std::uint32_t hash_to_partition(std::uint64_t key,
+                                       std::size_t partitions) {
+  std::uint64_t z = (key + 1) * 0x9e3779b97f4a7c15ULL;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % partitions);
+}
+
+/// Run all pending shuffle map stages below `rdd`.
+inline void materialize_ancestry(const RDDBase& rdd) {
+  std::vector<ShuffleDep*> pending;
+  std::unordered_set<const void*> seen;
+  rdd.collect_pending_shuffles(pending, seen);
+  for (ShuffleDep* dep : pending) {
+    if (!dep->materialized()) dep->run_map_stage();
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// In-memory partitioned source (sc.parallelize). Reading a partition scans
+/// its simulated region (deserialization cost), like a cached RDD block.
+template <typename T>
+class ParallelizeRDD final : public RDD<T> {
+ public:
+  ParallelizeRDD(SparkContext& sc, std::vector<std::vector<T>> partitions,
+                 double bytes_per_element, std::string name)
+      : RDD<T>(sc),
+        partitions_(std::move(partitions)),
+        bytes_per_element_(bytes_per_element),
+        name_(std::move(name)),
+        read_method_(sc.cluster().methods().intern(
+            "org.apache.spark.rdd.ParallelCollectionRDD.compute[" + name_ + "]",
+            jvm::OpKind::kIo)) {
+    regions_.reserve(partitions_.size());
+    for (const auto& p : partitions_) {
+      const auto bytes = static_cast<std::uint64_t>(
+          bytes_per_element_ * static_cast<double>(p.size())) + 64;
+      regions_.push_back(sc.cluster().address_space().allocate(bytes));
+    }
+  }
+
+  std::size_t num_partitions() const override { return partitions_.size(); }
+
+  void collect_pending_shuffles(
+      std::vector<ShuffleDep*>&, std::unordered_set<const void*>&) const override {}
+
+  std::vector<T> compute(std::size_t p, exec::ExecutorContext& ctx) override {
+    SIMPROF_EXPECTS(p < partitions_.size(), "partition out of range");
+    const auto bytes = static_cast<std::uint64_t>(
+        bytes_per_element_ * static_cast<double>(partitions_[p].size()));
+    const double rate = this->sc_.costs().scan_instrs_per_byte * 0.4;
+    if (auto* b = ctx.batcher()) {
+      b->add(read_method_,
+             static_cast<std::uint64_t>(rate * static_cast<double>(bytes)),
+             std::make_unique<hw::SequentialStream>(regions_[p], bytes));
+    } else {
+      jvm::MethodScope scope(ctx.stack(), read_method_);
+      exec::scan_region(ctx, regions_[p], bytes, rate);
+    }
+    return partitions_[p];
+  }
+
+  std::uint64_t region(std::size_t p) const { return regions_[p]; }
+
+ private:
+  std::vector<std::vector<T>> partitions_;
+  double bytes_per_element_;
+  std::string name_;
+  jvm::MethodId read_method_;
+  std::vector<std::uint64_t> regions_;
+};
+
+/// HDFS text source: partitions a corpus's documents into splits; computing
+/// a partition streams the split's bytes (HadoopRDD read + line record
+/// parsing) and yields document ids.
+class TextFileRDD final : public RDD<std::uint64_t> {
+ public:
+  TextFileRDD(SparkContext& sc, const data::TextCorpus& corpus,
+              std::size_t num_splits)
+      : RDD<std::uint64_t>(sc), corpus_(&corpus) {
+    SIMPROF_EXPECTS(num_splits > 0, "need at least one split");
+    const std::size_t docs = corpus.num_docs();
+    const std::size_t per = (docs + num_splits - 1) / num_splits;
+    for (std::size_t start = 0; start < docs; start += per) {
+      const std::size_t end = std::min(docs, start + per);
+      std::uint64_t bytes = 0;
+      for (std::size_t d = start; d < end; ++d) {
+        for (data::WordId w : corpus.doc(d)) {
+          bytes += data::TextCorpus::word_bytes(w);
+        }
+      }
+      splits_.push_back(Split{start, end, bytes,
+                              sc.cluster().address_space().allocate(bytes)});
+    }
+  }
+
+  std::size_t num_partitions() const override { return splits_.size(); }
+
+  void collect_pending_shuffles(
+      std::vector<ShuffleDep*>&, std::unordered_set<const void*>&) const override {}
+
+  std::vector<std::uint64_t> compute(std::size_t p,
+                                     exec::ExecutorContext& ctx) override {
+    SIMPROF_EXPECTS(p < splits_.size(), "split out of range");
+    const Split& s = splits_[p];
+    const double rate = sc_.costs().scan_instrs_per_byte;
+    if (auto* b = ctx.batcher()) {
+      b->add(sc_.methods().hadoop_rdd_read,
+             static_cast<std::uint64_t>(rate * static_cast<double>(s.bytes)),
+             std::make_unique<hw::SequentialStream>(s.region, s.bytes));
+    } else {
+      jvm::MethodScope scope(ctx.stack(), sc_.methods().hadoop_rdd_read);
+      exec::scan_region(ctx, s.region, s.bytes, rate);
+    }
+    std::vector<std::uint64_t> docs;
+    docs.reserve(s.doc_end - s.doc_begin);
+    for (std::size_t d = s.doc_begin; d < s.doc_end; ++d) docs.push_back(d);
+    return docs;
+  }
+
+  const data::TextCorpus& corpus() const { return *corpus_; }
+  std::uint64_t split_bytes(std::size_t p) const { return splits_[p].bytes; }
+
+ private:
+  struct Split {
+    std::size_t doc_begin = 0;
+    std::size_t doc_end = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t region = 0;
+  };
+  const data::TextCorpus* corpus_;
+  std::vector<Split> splits_;
+};
+
+// ---------------------------------------------------------------------------
+// Narrow transformations (pipelined within a stage)
+// ---------------------------------------------------------------------------
+
+template <typename U, typename T>
+class FlatMapRDD final : public RDD<U> {
+ public:
+  using Fn = std::function<void(const T&, std::vector<U>&)>;
+
+  FlatMapRDD(RddPtr<T> parent, std::string name, jvm::OpKind kind,
+             OpCost cost, Fn fn)
+      : RDD<U>(parent->context()),
+        parent_(std::move(parent)),
+        cost_(cost),
+        fn_(std::move(fn)),
+        method_(this->sc_.cluster().methods().intern(name, kind)) {
+    if (cost_.aux_bytes_per_element > 0) {
+      aux_region_ = this->sc_.cluster().address_space().allocate(
+          1 << 22);  // 4 MiB auxiliary state region
+    }
+  }
+
+  std::size_t num_partitions() const override {
+    return parent_->num_partitions();
+  }
+
+  void collect_pending_shuffles(
+      std::vector<ShuffleDep*>& out,
+      std::unordered_set<const void*>& seen) const override {
+    parent_->collect_pending_shuffles(out, seen);
+  }
+
+  std::vector<U> compute(std::size_t p, exec::ExecutorContext& ctx) override {
+    // Narrow transformations are iterator-pipelined in Spark: the consumer's
+    // frame sits above the producer's on the stack (the consumer pulls), and
+    // producer/consumer work interleaves at record granularity. With a
+    // batcher attached (the normal task path) the parent's deferred items
+    // are prefixed with this operator's frame and everything is flushed in
+    // interleaved slices — pipelined operations fuse into one phase, as in
+    // the paper's Figure 14.
+    exec::PipelineBatcher* b = ctx.batcher();
+    std::vector<T> in;
+    {
+      exec::PipelineFrame pframe(b, method_);
+      jvm::MethodScope scope(ctx.stack(), method_);
+      in = parent_->compute(p, ctx);
+    }
+    std::vector<U> out;
+    out.reserve(in.size());
+    for (const T& e : in) fn_(e, out);
+    const auto instrs = static_cast<std::uint64_t>(
+        cost_.instrs_per_element * static_cast<double>(in.size()) +
+        0.5 * cost_.instrs_per_element * static_cast<double>(out.size()));
+    std::unique_ptr<hw::AccessStream> aux;
+    if (cost_.aux_bytes_per_element > 0) {
+      aux = std::make_unique<hw::RandomStream>(
+          aux_region_, 1 << 22,
+          static_cast<std::uint64_t>(cost_.aux_bytes_per_element *
+                                     static_cast<double>(in.size()) / 64.0) +
+              1,
+          ctx.rng());
+    }
+    if (b != nullptr) {
+      b->add(method_, instrs, std::move(aux));
+    } else {
+      jvm::MethodScope scope(ctx.stack(), method_);
+      ctx.execute(instrs, aux.get());
+    }
+    return out;
+  }
+
+ private:
+  RddPtr<T> parent_;
+  OpCost cost_;
+  Fn fn_;
+  jvm::MethodId method_;
+  std::uint64_t aux_region_ = 0;
+};
+
+/// map / filter are flat_map specializations; see the free functions below.
+
+/// union: concatenates two RDDs' partitions (a narrow, zero-cost dependency
+/// — Spark's UnionRDD). The paper names `union` as an example of Spark
+/// operations beyond map/reduce (Section II-B).
+template <typename T>
+class UnionRDD final : public RDD<T> {
+ public:
+  UnionRDD(RddPtr<T> left, RddPtr<T> right)
+      : RDD<T>(left->context()),
+        left_(std::move(left)),
+        right_(std::move(right)) {
+    SIMPROF_EXPECTS(&left_->context() == &right_->context(),
+                    "union across SparkContexts");
+  }
+
+  std::size_t num_partitions() const override {
+    return left_->num_partitions() + right_->num_partitions();
+  }
+
+  void collect_pending_shuffles(
+      std::vector<ShuffleDep*>& out,
+      std::unordered_set<const void*>& seen) const override {
+    left_->collect_pending_shuffles(out, seen);
+    right_->collect_pending_shuffles(out, seen);
+  }
+
+  std::vector<T> compute(std::size_t p, exec::ExecutorContext& ctx) override {
+    const std::size_t nl = left_->num_partitions();
+    return p < nl ? left_->compute(p, ctx) : right_->compute(p - nl, ctx);
+  }
+
+ private:
+  RddPtr<T> left_;
+  RddPtr<T> right_;
+};
+
+// ---------------------------------------------------------------------------
+// Shuffled RDDs
+// ---------------------------------------------------------------------------
+
+/// reduceByKey with Spark's map-side combine (Aggregator.combineValuesByKey):
+/// the map stage builds a per-task hash map whose region grows as distinct
+/// keys accumulate — the tightly coupled map+reduce+IO phase of Figure 14.
+template <typename K, typename V>
+class ReduceByKeyRDD final : public RDD<std::pair<K, V>>, public ShuffleDep {
+ public:
+  using Pair = std::pair<K, V>;
+  using CombineFn = std::function<V(const V&, const V&)>;
+  using KeyHashFn = std::function<std::uint64_t(const K&)>;
+
+  ReduceByKeyRDD(RddPtr<Pair> parent, CombineFn combine,
+                 std::size_t num_partitions, OpCost cost,
+                 KeyHashFn key_hash, bool map_side_combine = true)
+      : RDD<Pair>(parent->context()),
+        parent_(std::move(parent)),
+        combine_(std::move(combine)),
+        partitions_(num_partitions),
+        cost_(cost),
+        key_hash_(std::move(key_hash)),
+        map_side_combine_(map_side_combine),
+        shuffle_id_(this->sc_.next_shuffle_id()) {
+    SIMPROF_EXPECTS(partitions_ > 0, "need at least one reduce partition");
+  }
+
+  std::size_t num_partitions() const override { return partitions_; }
+
+  bool materialized() const override { return materialized_; }
+
+  void collect_pending_shuffles(
+      std::vector<ShuffleDep*>& out,
+      std::unordered_set<const void*>& seen) const override {
+    if (materialized_ || seen.contains(this)) return;
+    parent_->collect_pending_shuffles(out, seen);
+    seen.insert(this);
+    out.push_back(const_cast<ReduceByKeyRDD*>(this));
+  }
+
+  void run_map_stage() override {
+    SIMPROF_EXPECTS(!materialized_, "map stage already ran");
+    detail::materialize_ancestry(*parent_);
+    buckets_.assign(partitions_, {});
+
+    const std::size_t map_tasks = parent_->num_partitions();
+    std::vector<exec::Task> tasks;
+    tasks.reserve(map_tasks);
+    for (std::size_t p = 0; p < map_tasks; ++p) {
+      tasks.push_back(exec::Task{
+          "shuffle_map_" + std::to_string(shuffle_id_) + "_" +
+              std::to_string(p),
+          [this, p](exec::ExecutorContext& ctx) { map_task(p, ctx); }});
+    }
+    this->sc_.run_stage("shuffle_" + std::to_string(shuffle_id_),
+                        /*shuffle_map=*/true, std::move(tasks));
+    materialized_ = true;
+  }
+
+  std::vector<Pair> compute(std::size_t p,
+                            exec::ExecutorContext& ctx) override {
+    SIMPROF_EXPECTS(materialized_, "reduce side before map stage");
+    SIMPROF_EXPECTS(p < partitions_, "partition out of range");
+    SparkMethods& m = this->sc_.methods();
+    const auto& costs = this->sc_.costs();
+
+    // Fetch + deserialize + merge: the reader feeds the combiner iterator,
+    // so with a batcher attached (the normal result-task path) both defer
+    // and flush interleaved — one reduce-side phase, not two.
+    exec::PipelineBatcher* b = ctx.batcher();
+    std::uint64_t total = 0;
+    for (const auto& run : buckets_[p]) total += run.size();
+    const auto bytes = static_cast<std::uint64_t>(
+        cost_.record_bytes * static_cast<double>(total));
+    const auto read_instrs = static_cast<std::uint64_t>(
+        costs.scan_instrs_per_byte * static_cast<double>(bytes));
+    const std::uint64_t read_base = shuffle_region_ + p * region_stride_;
+    if (b != nullptr) {
+      b->add(m.shuffle_read, read_instrs,
+             std::make_unique<hw::SequentialStream>(read_base, bytes));
+    } else {
+      jvm::MethodScope read(ctx.stack(), m.shuffle_read);
+      exec::scan_region(ctx, read_base, bytes, costs.scan_instrs_per_byte);
+    }
+    // Merge combiners into the final per-key map.
+    std::unordered_map<K, V> merged;
+    {
+      std::optional<jvm::MethodScope> comb;
+      if (b == nullptr) comb.emplace(ctx.stack(), m.combine_combiners);
+      auto charge_merge = [&](std::uint64_t elements) {
+        if (elements == 0) return;
+        if (b != nullptr) {
+          b->add(m.combine_combiners,
+                 exec::hash_aggregate_instrs(elements, costs),
+                 exec::hash_aggregate_stream(ctx.rng(), reduce_region_,
+                                             merged.size() * kEntryBytes,
+                                             elements, 0.35, costs));
+        } else {
+          exec::hash_aggregate(ctx, reduce_region_,
+                               merged.size() * kEntryBytes, elements, 0.35,
+                               costs);
+        }
+      };
+      merged.reserve(total);
+      std::uint64_t processed = 0;
+      for (const auto& run : buckets_[p]) {
+        for (const auto& [k, v] : run) {
+          auto [it, fresh] = merged.emplace(k, v);
+          if (!fresh) it->second = combine_(it->second, v);
+          if (++processed % kBlock == 0) charge_merge(kBlock);
+        }
+      }
+      charge_merge(processed % kBlock);
+    }
+    std::vector<Pair> out;
+    out.reserve(merged.size());
+    for (auto& kv : merged) out.emplace_back(kv.first, std::move(kv.second));
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kBlock = 4096;
+  static constexpr std::uint64_t kEntryBytes = 32;
+
+  void map_task(std::size_t p, exec::ExecutorContext& ctx) {
+    SparkMethods& m = this->sc_.methods();
+    const auto& costs = this->sc_.costs();
+
+    // The Aggregator pulls records straight out of the pipelined parent
+    // iterator, so the whole upstream computation runs underneath the
+    // combineValuesByKey frame and interleaves with the hash probes — the
+    // tightly coupled map+reduce+IO phase the paper observes for wc_sp.
+    exec::PipelineScope pipeline(ctx);
+    exec::PipelineBatcher* b = ctx.batcher();
+    std::vector<Pair> in;
+    {
+      exec::PipelineFrame pframe(map_side_combine_ ? b : nullptr,
+                                 m.combine_values);
+      in = parent_->compute(p, ctx);
+    }
+
+    // Lazily allocate the simulated shuffle regions once sizes are known.
+    if (map_region_ == 0) {
+      map_region_ = this->sc_.cluster().address_space().allocate(1ULL << 26);
+      reduce_region_ =
+          this->sc_.cluster().address_space().allocate(1ULL << 26);
+      region_stride_ = (1ULL << 26) / partitions_;
+      shuffle_region_ =
+          this->sc_.cluster().address_space().allocate(1ULL << 26);
+    }
+
+    std::unordered_map<K, V> combined;
+    if (map_side_combine_) {
+      combined.reserve(in.size() / 4 + 16);
+      std::uint64_t processed = 0;
+      auto defer_hash = [&](std::uint64_t elements) {
+        if (elements == 0) return;
+        // Hot keys (low Zipf ranks) stay cache-resident: skewed probes over
+        // the hash region at its size when this block ran.
+        b->add(m.combine_values,
+               exec::hash_aggregate_instrs(elements, costs),
+               exec::hash_aggregate_stream(ctx.rng(), map_region_,
+                                           combined.size() * kEntryBytes,
+                                           elements, 0.80, costs));
+      };
+      for (const auto& [k, v] : in) {
+        auto [it, fresh] = combined.emplace(k, v);
+        if (!fresh) it->second = combine_(it->second, v);
+        if (++processed % kBlock == 0) defer_hash(kBlock);
+      }
+      defer_hash(processed % kBlock);
+    }
+    pipeline.finish();  // charge the coupled read+map+combine mixture
+
+    // Partition and write the shuffle output.
+    {
+      jvm::MethodScope write(ctx.stack(), m.shuffle_write);
+      std::vector<std::vector<Pair>> parts(partitions_);
+      auto route = [&](const Pair& kv) {
+        parts[detail::hash_to_partition(key_hash_(kv.first), partitions_)]
+            .push_back(kv);
+      };
+      if (map_side_combine_) {
+        for (const auto& kv : combined) route({kv.first, kv.second});
+      } else {
+        for (const auto& kv : in) route(kv);
+      }
+      std::uint64_t out_records = 0;
+      for (const auto& b : parts) out_records += b.size();
+      const auto bytes = static_cast<std::uint64_t>(
+          cost_.record_bytes * static_cast<double>(out_records));
+      {
+        jvm::MethodScope ser(ctx.stack(), m.serialize);
+        exec::write_stream(ctx, map_region_ + (1ULL << 25), bytes,
+                           /*compressed=*/false, costs);
+      }
+      for (std::size_t r = 0; r < partitions_; ++r) {
+        if (!parts[r].empty()) buckets_[r].push_back(std::move(parts[r]));
+      }
+    }
+  }
+
+  RddPtr<Pair> parent_;
+  CombineFn combine_;
+  std::size_t partitions_;
+  OpCost cost_;
+  KeyHashFn key_hash_;
+  bool map_side_combine_;
+  int shuffle_id_;
+  bool materialized_ = false;
+  std::vector<std::vector<std::vector<Pair>>> buckets_;  // [reduce][run]
+  std::uint64_t map_region_ = 0;
+  std::uint64_t reduce_region_ = 0;
+  std::uint64_t shuffle_region_ = 0;
+  std::uint64_t region_stride_ = 1;
+};
+
+/// sortByKey: range partitioning on the map side, per-partition quicksort on
+/// the reduce side (ExternalSorter). The recursive partition passes of the
+/// sort produce the high intra-phase CPI variance discussed in III-B.1.
+template <typename K, typename V>
+class SortByKeyRDD final : public RDD<std::pair<K, V>>, public ShuffleDep {
+ public:
+  using Pair = std::pair<K, V>;
+  using RankFn = std::function<double(const K&)>;  ///< key → [0, 1)
+
+  SortByKeyRDD(RddPtr<Pair> parent, RankFn rank, std::size_t num_partitions,
+               OpCost cost)
+      : RDD<Pair>(parent->context()),
+        parent_(std::move(parent)),
+        rank_(std::move(rank)),
+        partitions_(num_partitions),
+        cost_(cost),
+        shuffle_id_(this->sc_.next_shuffle_id()) {
+    SIMPROF_EXPECTS(partitions_ > 0, "need at least one partition");
+  }
+
+  std::size_t num_partitions() const override { return partitions_; }
+  bool materialized() const override { return materialized_; }
+
+  void collect_pending_shuffles(
+      std::vector<ShuffleDep*>& out,
+      std::unordered_set<const void*>& seen) const override {
+    if (materialized_ || seen.contains(this)) return;
+    parent_->collect_pending_shuffles(out, seen);
+    seen.insert(this);
+    out.push_back(const_cast<SortByKeyRDD*>(this));
+  }
+
+  void run_map_stage() override {
+    SIMPROF_EXPECTS(!materialized_, "map stage already ran");
+    detail::materialize_ancestry(*parent_);
+    buckets_.assign(partitions_, {});
+    const std::size_t map_tasks = parent_->num_partitions();
+    std::vector<exec::Task> tasks;
+    tasks.reserve(map_tasks);
+    for (std::size_t p = 0; p < map_tasks; ++p) {
+      tasks.push_back(exec::Task{
+          "sort_map_" + std::to_string(p),
+          [this, p](exec::ExecutorContext& ctx) { map_task(p, ctx); }});
+    }
+    this->sc_.run_stage("sort_shuffle_" + std::to_string(shuffle_id_),
+                        /*shuffle_map=*/true, std::move(tasks));
+    materialized_ = true;
+  }
+
+  std::vector<Pair> compute(std::size_t p,
+                            exec::ExecutorContext& ctx) override {
+    SIMPROF_EXPECTS(materialized_, "reduce side before map stage");
+    SparkMethods& m = this->sc_.methods();
+    const auto& costs = this->sc_.costs();
+
+    std::vector<Pair> all;
+    {
+      jvm::MethodScope read(ctx.stack(), m.shuffle_read);
+      std::uint64_t total = 0;
+      for (const auto& run : buckets_[p]) total += run.size();
+      all.reserve(total);
+      for (const auto& run : buckets_[p]) {
+        all.insert(all.end(), run.begin(), run.end());
+      }
+      exec::scan_region(ctx, sort_region_,
+                        static_cast<std::uint64_t>(cost_.record_bytes *
+                                                   static_cast<double>(total)),
+                        costs.scan_instrs_per_byte);
+    }
+    {
+      jvm::MethodScope sorter(ctx.stack(), m.external_sort);
+      std::stable_sort(all.begin(), all.end(),
+                       [&](const Pair& a, const Pair& b) {
+                         return rank_(a.first) < rank_(b.first);
+                       });
+      exec::quicksort_traffic(
+          ctx, sort_region_, all.size(),
+          static_cast<std::uint32_t>(std::max(1.0, cost_.record_bytes)),
+          costs);
+    }
+    return all;
+  }
+
+ private:
+  void map_task(std::size_t p, exec::ExecutorContext& ctx) {
+    SparkMethods& m = this->sc_.methods();
+    const auto& costs = this->sc_.costs();
+    // The sort-shuffle writer drives the pipelined parent iterator.
+    exec::PipelineScope pipeline(ctx);
+    std::vector<Pair> in;
+    {
+      exec::PipelineFrame pframe(ctx.batcher(), m.shuffle_write);
+      in = parent_->compute(p, ctx);
+    }
+    pipeline.finish();
+    if (sort_region_ == 0) {
+      sort_region_ = this->sc_.cluster().address_space().allocate(1ULL << 26);
+      write_region_ = this->sc_.cluster().address_space().allocate(1ULL << 26);
+    }
+    jvm::MethodScope write(ctx.stack(), m.shuffle_write);
+    std::vector<std::vector<Pair>> parts(partitions_);
+    for (const auto& kv : in) {
+      double r = rank_(kv.first);
+      r = std::clamp(r, 0.0, 1.0 - 1e-12);
+      parts[static_cast<std::size_t>(r * static_cast<double>(partitions_))]
+          .push_back(kv);
+    }
+    const auto bytes = static_cast<std::uint64_t>(
+        cost_.record_bytes * static_cast<double>(in.size()));
+    {
+      jvm::MethodScope ser(ctx.stack(), m.serialize);
+      exec::write_stream(ctx, write_region_, bytes, /*compressed=*/false,
+                         costs);
+    }
+    for (std::size_t r = 0; r < partitions_; ++r) {
+      if (!parts[r].empty()) buckets_[r].push_back(std::move(parts[r]));
+    }
+  }
+
+  RddPtr<Pair> parent_;
+  RankFn rank_;
+  std::size_t partitions_;
+  OpCost cost_;
+  int shuffle_id_;
+  bool materialized_ = false;
+  std::vector<std::vector<std::vector<Pair>>> buckets_;
+  std::uint64_t sort_region_ = 0;
+  std::uint64_t write_region_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Transformation factories (the user-facing API)
+// ---------------------------------------------------------------------------
+
+template <typename U, typename Rdd, typename F>
+RddPtr<U> flat_map(std::shared_ptr<Rdd> parent, std::string name,
+                   jvm::OpKind kind, OpCost cost, F fn) {
+  using T = typename Rdd::element_type;
+  return std::make_shared<FlatMapRDD<U, T>>(
+      RddPtr<T>(std::move(parent)), std::move(name), kind, cost,
+      typename FlatMapRDD<U, T>::Fn(std::move(fn)));
+}
+
+template <typename U, typename Rdd, typename F>
+RddPtr<U> map(std::shared_ptr<Rdd> parent, std::string name, jvm::OpKind kind,
+              OpCost cost, F fn) {
+  using T = typename Rdd::element_type;
+  return flat_map<U>(std::move(parent), std::move(name), kind, cost,
+                     [fn = std::move(fn)](const T& e, std::vector<U>& out) {
+                       out.push_back(fn(e));
+                     });
+}
+
+template <typename Rdd, typename F>
+auto filter(std::shared_ptr<Rdd> parent, std::string name, jvm::OpKind kind,
+            OpCost cost, F pred) {
+  using T = typename Rdd::element_type;
+  return flat_map<T>(std::move(parent), std::move(name), kind, cost,
+                     [pred = std::move(pred)](const T& e, std::vector<T>& out) {
+                       if (pred(e)) out.push_back(e);
+                     });
+}
+
+template <typename Rdd, typename F>
+auto reduce_by_key(std::shared_ptr<Rdd> parent, F fn, std::size_t partitions,
+                   OpCost cost) {
+  using Pair = typename Rdd::element_type;
+  using K = typename Pair::first_type;
+  using V = typename Pair::second_type;
+  return std::static_pointer_cast<RDD<Pair>>(
+      std::make_shared<ReduceByKeyRDD<K, V>>(
+          RddPtr<Pair>(std::move(parent)),
+          typename ReduceByKeyRDD<K, V>::CombineFn(std::move(fn)), partitions,
+          cost, [](const K& k) { return static_cast<std::uint64_t>(k); }));
+}
+
+template <typename Rdd, typename R>
+auto sort_by_key(std::shared_ptr<Rdd> parent, R rank, std::size_t partitions,
+                 OpCost cost) {
+  using Pair = typename Rdd::element_type;
+  using K = typename Pair::first_type;
+  using V = typename Pair::second_type;
+  return std::static_pointer_cast<RDD<Pair>>(
+      std::make_shared<SortByKeyRDD<K, V>>(
+          RddPtr<Pair>(std::move(parent)),
+          typename SortByKeyRDD<K, V>::RankFn(std::move(rank)), partitions,
+          cost));
+}
+
+template <typename RddA, typename RddB>
+auto union_rdds(std::shared_ptr<RddA> a, std::shared_ptr<RddB> b) {
+  using T = typename RddA::element_type;
+  static_assert(std::is_same_v<T, typename RddB::element_type>,
+                "union of RDDs with different element types");
+  return std::static_pointer_cast<RDD<T>>(
+      std::make_shared<UnionRDD<T>>(RddPtr<T>(std::move(a)),
+                                    RddPtr<T>(std::move(b))));
+}
+
+/// distinct = map-to-pair + reduceByKey(first) + keys, like Spark's.
+template <typename Rdd>
+auto distinct(std::shared_ptr<Rdd> parent, std::size_t partitions,
+              OpCost cost = {}) {
+  using T = typename Rdd::element_type;
+  auto keyed = map<std::pair<T, std::uint8_t>>(
+      std::move(parent), "org.apache.spark.rdd.RDD.distinct",
+      jvm::OpKind::kMap, cost,
+      [](const T& e) { return std::make_pair(e, std::uint8_t{1}); });
+  auto reduced = reduce_by_key(
+      std::move(keyed),
+      [](const std::uint8_t& a, const std::uint8_t&) { return a; },
+      partitions, cost);
+  return map<T>(std::move(reduced), "org.apache.spark.rdd.RDD.distinct[keys]",
+                jvm::OpKind::kMap, cost,
+                [](const std::pair<T, std::uint8_t>& kv) { return kv.first; });
+}
+
+/// groupByKey: shuffle all values of a key to one partition. Like Spark,
+/// no map-side combine — every record crosses the shuffle (which is why the
+/// paper's workloads prefer reduceByKey).
+template <typename Rdd>
+auto group_by_key(std::shared_ptr<Rdd> parent, std::size_t partitions,
+                  OpCost cost = {}) {
+  using Pair = typename Rdd::element_type;
+  using K = typename Pair::first_type;
+  using V = typename Pair::second_type;
+  auto singletons = map<std::pair<K, std::vector<V>>>(
+      std::move(parent), "org.apache.spark.rdd.PairRDDFunctions.groupByKey",
+      jvm::OpKind::kMap, cost, [](const Pair& kv) {
+        return std::make_pair(kv.first, std::vector<V>{kv.second});
+      });
+  return std::static_pointer_cast<RDD<std::pair<K, std::vector<V>>>>(
+      std::make_shared<ReduceByKeyRDD<K, std::vector<V>>>(
+          std::move(singletons),
+          [](const std::vector<V>& a, const std::vector<V>& b) {
+            std::vector<V> out = a;
+            out.insert(out.end(), b.begin(), b.end());
+            return out;
+          },
+          partitions, cost,
+          [](const K& k) { return static_cast<std::uint64_t>(k); },
+          /*map_side_combine=*/false));
+}
+
+/// Inner join of two pair RDDs on the key: tag each side, union, group by
+/// key, emit the cross product — Spark's cogroup-based join, expressed with
+/// the same primitives.
+template <typename RddA, typename RddB>
+auto join(std::shared_ptr<RddA> left, std::shared_ptr<RddB> right,
+          std::size_t partitions, OpCost cost = {}) {
+  using PairA = typename RddA::element_type;
+  using PairB = typename RddB::element_type;
+  using K = typename PairA::first_type;
+  static_assert(std::is_same_v<K, typename PairB::first_type>,
+                "join keys must match");
+  using V = typename PairA::second_type;
+  using W = typename PairB::second_type;
+  using Tagged = std::pair<K, std::pair<std::uint8_t, std::pair<V, W>>>;
+
+  auto tag_left = map<Tagged>(
+      std::move(left), "org.apache.spark.rdd.CoGroupedRDD.compute[left]",
+      jvm::OpKind::kMap, cost, [](const PairA& kv) {
+        return Tagged{kv.first, {0, {kv.second, W{}}}};
+      });
+  auto tag_right = map<Tagged>(
+      std::move(right), "org.apache.spark.rdd.CoGroupedRDD.compute[right]",
+      jvm::OpKind::kMap, cost, [](const PairB& kv) {
+        return Tagged{kv.first, {1, {V{}, kv.second}}};
+      });
+  auto grouped = group_by_key(union_rdds(tag_left, tag_right), partitions,
+                              cost);
+  using Out = std::pair<K, std::pair<V, W>>;
+  using Grouped = typename decltype(grouped)::element_type::element_type;
+  return flat_map<Out>(
+      std::move(grouped), "org.apache.spark.rdd.PairRDDFunctions.join",
+      jvm::OpKind::kReduce, cost,
+      [](const Grouped& group, std::vector<Out>& out) {
+        for (const auto& a : group.second) {
+          if (a.first != 0) continue;
+          for (const auto& b : group.second) {
+            if (b.first != 1) continue;
+            out.emplace_back(group.first,
+                             std::make_pair(a.second.first, b.second.second));
+          }
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Actions (trigger job execution)
+// ---------------------------------------------------------------------------
+
+/// Run the job and gather every partition's records on the driver.
+template <typename T>
+std::vector<T> collect(const RddPtr<T>& rdd) {
+  detail::materialize_ancestry(*rdd);
+  SparkContext& sc = rdd->context();
+  std::vector<std::vector<T>> results(rdd->num_partitions());
+  std::vector<exec::Task> tasks;
+  tasks.reserve(rdd->num_partitions());
+  for (std::size_t p = 0; p < rdd->num_partitions(); ++p) {
+    tasks.push_back(exec::Task{
+        "collect_" + std::to_string(p),
+        [&rdd, &results, p](exec::ExecutorContext& ctx) {
+          exec::PipelineScope pipeline(ctx);
+          results[p] = rdd->compute(p, ctx);
+        }});
+  }
+  sc.run_stage("collect", /*shuffle_map=*/false, std::move(tasks));
+  std::vector<T> out;
+  for (auto& r : results) {
+    out.insert(out.end(), std::make_move_iterator(r.begin()),
+               std::make_move_iterator(r.end()));
+  }
+  return out;
+}
+
+/// Run the job and count records without materializing them on the driver.
+template <typename Rdd>
+std::uint64_t count(const std::shared_ptr<Rdd>& rdd) {
+  using T = typename Rdd::element_type;
+  const RddPtr<T> typed(rdd);
+  detail::materialize_ancestry(*typed);
+  SparkContext& sc = typed->context();
+  std::vector<std::uint64_t> counts(typed->num_partitions(), 0);
+  std::vector<exec::Task> tasks;
+  for (std::size_t p = 0; p < typed->num_partitions(); ++p) {
+    tasks.push_back(exec::Task{
+        "count_" + std::to_string(p),
+        [&typed, &counts, p](exec::ExecutorContext& ctx) {
+          exec::PipelineScope pipeline(ctx);
+          counts[p] = typed->compute(p, ctx).size();
+        }});
+  }
+  sc.run_stage("count", /*shuffle_map=*/false, std::move(tasks));
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  return total;
+}
+
+/// Run the job and write each partition to simulated HDFS; returns the
+/// record count. `record_bytes` sizes the output traffic.
+template <typename T>
+std::uint64_t save_as_text_file(const RddPtr<T>& rdd, double record_bytes) {
+  detail::materialize_ancestry(*rdd);
+  SparkContext& sc = rdd->context();
+  const std::uint64_t out_region =
+      sc.cluster().address_space().allocate(1ULL << 26);
+  std::vector<std::uint64_t> counts(rdd->num_partitions(), 0);
+  std::vector<exec::Task> tasks;
+  tasks.reserve(rdd->num_partitions());
+  for (std::size_t p = 0; p < rdd->num_partitions(); ++p) {
+    tasks.push_back(exec::Task{
+        "save_" + std::to_string(p),
+        [&rdd, &counts, &sc, out_region, record_bytes, p](
+            exec::ExecutorContext& ctx) {
+          exec::PipelineScope pipeline(ctx);
+          std::vector<T> data = rdd->compute(p, ctx);
+          pipeline.finish();
+          counts[p] = data.size();
+          jvm::MethodScope io(ctx.stack(), sc.methods().hdfs_write);
+          exec::write_stream(
+              ctx, out_region,
+              static_cast<std::uint64_t>(record_bytes *
+                                         static_cast<double>(data.size())),
+              /*compressed=*/false, sc.costs());
+        }});
+  }
+  sc.run_stage("saveAsTextFile", /*shuffle_map=*/false, std::move(tasks));
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  return total;
+}
+
+}  // namespace simprof::spark

@@ -1,0 +1,47 @@
+#include "stats/feature_select.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/descriptive.h"
+#include "support/assert.h"
+
+namespace simprof::stats {
+
+std::vector<double> f_regression(const Matrix& x, std::span<const double> y) {
+  SIMPROF_EXPECTS(x.rows() == y.size(), "row/target length mismatch");
+  const std::size_t n = x.rows();
+  std::vector<double> scores(x.cols(), 0.0);
+  if (n < 3) return scores;
+
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const auto col = x.column(c);
+    const double r = pearson(col, y);
+    const double r2 = std::min(r * r, 1.0 - 1e-12);
+    scores[c] = r2 / (1.0 - r2) * static_cast<double>(n - 2);
+  }
+  return scores;
+}
+
+std::vector<std::size_t> top_k_indices(std::span<const double> scores,
+                                       std::size_t k, bool positive_only) {
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::size_t limit = std::min(k, idx.size());
+  if (positive_only) {
+    std::size_t positives = 0;
+    for (auto i : idx) {
+      if (scores[i] > 0.0) ++positives;
+      else break;
+    }
+    limit = std::min(limit, positives);
+  }
+  idx.resize(limit);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+}  // namespace simprof::stats

@@ -1,0 +1,32 @@
+// Univariate linear-regression feature scoring.
+//
+// SimProf's phase formation reduces thousands of method-frequency dimensions
+// to the top-K methods most correlated with performance (IPC). The paper
+// cites the univariate linear regression test (sklearn's f_regression):
+// F = r² / (1 − r²) · (n − 2), where r is the Pearson correlation between a
+// feature column and the target. Constant columns (e.g. the executor-thread
+// start-up methods appearing in every unit) score 0 and are dropped — exactly
+// the elimination the paper describes for Figure 5.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace simprof::stats {
+
+/// F-statistic per feature column of X against target y. Returns X.cols()
+/// scores; constant columns (or constant y) score 0.
+std::vector<double> f_regression(const Matrix& x, std::span<const double> y);
+
+/// Indices of the top-k scores (ties broken toward the lower index, output
+/// sorted ascending so column selection is stable). k is clamped to the
+/// number of strictly positive scores when `positive_only` is set: a column
+/// with zero F carries no performance signal and would only add noise.
+std::vector<std::size_t> top_k_indices(std::span<const double> scores,
+                                       std::size_t k,
+                                       bool positive_only = true);
+
+}  // namespace simprof::stats

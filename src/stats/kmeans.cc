@@ -1,0 +1,184 @@
+#include "stats/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/silhouette.h"
+#include "support/assert.h"
+
+namespace simprof::stats {
+namespace {
+
+/// k-means++ seeding: first center uniform, subsequent centers sampled with
+/// probability proportional to squared distance to the nearest chosen center.
+Matrix seed_plus_plus(const Matrix& points, std::size_t k, Rng& rng) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  Matrix centers(k, d);
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  std::size_t first = static_cast<std::size_t>(rng.next_below(n));
+  std::copy_n(points.row(first).data(), d, centers.row(0).data());
+
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d2 = squared_distance(points.row(i), centers.row(c - 1));
+      dist2[i] = std::min(dist2[i], d2);
+      total += dist2[i];
+    }
+    std::size_t pick = 0;
+    if (total > 0.0) {
+      double target = rng.next_double() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= dist2[i];
+        if (target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = static_cast<std::size_t>(rng.next_below(n));
+    }
+    std::copy_n(points.row(pick).data(), d, centers.row(c).data());
+  }
+  return centers;
+}
+
+KMeansResult lloyd(const Matrix& points, Matrix centers,
+                   const KMeansConfig& cfg) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  const std::size_t k = centers.rows();
+
+  KMeansResult res;
+  res.labels.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = squared_distance(points.row(i), centers.row(c));
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      res.labels[i] = best_c;
+      inertia += best;
+    }
+
+    // Update step.
+    Matrix next(k, d);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = res.labels[i];
+      ++counts[c];
+      auto dst = next.row(c);
+      const auto src = points.row(i);
+      for (std::size_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed it at the point farthest from its center.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d2 =
+              squared_distance(points.row(i), centers.row(res.labels[i]));
+          if (d2 > far_d) {
+            far_d = d2;
+            far = i;
+          }
+        }
+        std::copy_n(points.row(far).data(), d, next.row(c).data());
+        continue;
+      }
+      auto dst = next.row(c);
+      for (std::size_t j = 0; j < d; ++j) {
+        dst[j] /= static_cast<double>(counts[c]);
+      }
+    }
+    centers = std::move(next);
+    res.iterations = iter + 1;
+    res.inertia = inertia;
+    if (prev_inertia - inertia < cfg.tolerance) break;
+    prev_inertia = inertia;
+  }
+  res.centers = std::move(centers);
+  return res;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
+                    const KMeansConfig& cfg) {
+  SIMPROF_EXPECTS(!points.empty(), "kmeans on empty matrix");
+  SIMPROF_EXPECTS(k >= 1 && k <= points.rows(),
+                  "k must be in [1, number of points]");
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  const std::size_t restarts = std::max<std::size_t>(1, cfg.restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    KMeansResult cand = lloyd(points, seed_plus_plus(points, k, rng), cfg);
+    if (cand.inertia < best.inertia) best = std::move(cand);
+  }
+  return best;
+}
+
+std::size_t nearest_center(const Matrix& centers,
+                           std::span<const double> point) {
+  SIMPROF_EXPECTS(centers.rows() > 0, "no centers");
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_c = 0;
+  for (std::size_t c = 0; c < centers.rows(); ++c) {
+    const double d2 = squared_distance(centers.row(c), point);
+    if (d2 < best) {
+      best = d2;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+ChooseKResult choose_k(const Matrix& points, Rng& rng,
+                       const ChooseKConfig& cfg) {
+  SIMPROF_EXPECTS(!points.empty(), "choose_k on empty matrix");
+  const std::size_t max_k =
+      std::min<std::size_t>(cfg.max_k, points.rows());
+
+  ChooseKResult out;
+  std::vector<KMeansResult> clusterings;
+  clusterings.reserve(max_k);
+  out.scores.reserve(max_k);
+
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    KMeansResult r = kmeans(points, k, rng, cfg.kmeans);
+    const double score =
+        (k == 1) ? cfg.k1_baseline_score
+                 : sampled_silhouette(points, r.labels, k);
+    out.scores.push_back(score);
+    clusterings.push_back(std::move(r));
+  }
+
+  const double best = *std::max_element(out.scores.begin(), out.scores.end());
+  const double cutoff = cfg.score_fraction * best;
+  std::size_t chosen = max_k;  // fall back to the largest k
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    if (out.scores[k - 1] >= cutoff) {
+      chosen = k;
+      break;
+    }
+  }
+  out.k = chosen;
+  out.clustering = std::move(clusterings[chosen - 1]);
+  return out;
+}
+
+}  // namespace simprof::stats

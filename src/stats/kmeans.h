@@ -1,0 +1,59 @@
+// Lloyd's k-means with k-means++ seeding — the phase-formation clusterer.
+//
+// SimProf clusters per-unit method-frequency feature vectors into phases
+// (Section III-B of the paper). The number of phases k is chosen by sweeping
+// k = 1..max_k and scoring each clustering with the silhouette coefficient
+// (see silhouette.h); `choose_k` implements the paper's "smallest k with at
+// least 90% of the highest score" rule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.h"
+#include "support/rng.h"
+
+namespace simprof::stats {
+
+struct KMeansConfig {
+  std::size_t max_iterations = 64;
+  std::size_t restarts = 2;       ///< independent k-means++ seedings; best kept
+  double tolerance = 1e-7;        ///< stop when inertia improves less than this
+};
+
+struct KMeansResult {
+  Matrix centers;                   ///< k × d
+  std::vector<std::size_t> labels;  ///< n
+  double inertia = 0.0;             ///< Σ squared distance to assigned center
+  std::size_t iterations = 0;       ///< iterations of the winning restart
+};
+
+/// Cluster `points` (n × d) into k clusters. k must be in [1, n].
+KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
+                    const KMeansConfig& cfg = {});
+
+/// Index of the nearest row of `centers` to `point` (Euclidean).
+std::size_t nearest_center(const Matrix& centers,
+                           std::span<const double> point);
+
+struct ChooseKConfig {
+  std::size_t max_k = 20;          ///< paper: k swept from 1 to 20
+  double score_fraction = 0.90;    ///< paper: smallest k within 90% of best
+  double k1_baseline_score = 0.45; ///< silhouette stand-in for k = 1 (it is
+                                   ///< undefined there); lets single-phase
+                                   ///< workloads win when no split is crisp
+  KMeansConfig kmeans;
+};
+
+struct ChooseKResult {
+  std::size_t k = 1;
+  KMeansResult clustering;
+  std::vector<double> scores;  ///< silhouette per k (index 0 ↔ k = 1)
+};
+
+/// Sweep k = 1..max_k, score with the (simplified) silhouette coefficient and
+/// return the smallest k whose score is ≥ score_fraction × best score.
+ChooseKResult choose_k(const Matrix& points, Rng& rng,
+                       const ChooseKConfig& cfg = {});
+
+}  // namespace simprof::stats

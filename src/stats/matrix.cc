@@ -1,0 +1,49 @@
+#include "stats/matrix.h"
+
+#include <cmath>
+
+namespace simprof::stats {
+
+std::vector<double> Matrix::column(std::size_t c) const {
+  SIMPROF_EXPECTS(c < cols_, "column out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+Matrix Matrix::select_columns(std::span<const std::size_t> cols) const {
+  Matrix out(rows_, cols.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      SIMPROF_EXPECTS(cols[j] < cols_, "selected column out of range");
+      out.at(r, j) = data_[r * cols_ + cols[j]];
+    }
+  }
+  return out;
+}
+
+void Matrix::normalize_rows_l1() {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto rw = row(r);
+    double sum = 0.0;
+    for (double v : rw) sum += v;
+    if (sum <= 0.0) continue;
+    for (double& v : rw) v /= sum;
+  }
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  SIMPROF_EXPECTS(a.size() == b.size(), "dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+}  // namespace simprof::stats

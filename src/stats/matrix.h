@@ -1,0 +1,66 @@
+// Dense row-major matrix of doubles — the feature-matrix currency shared by
+// feature selection, k-means, silhouette scoring and unit classification.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace simprof::stats {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& at(std::size_t r, std::size_t c) {
+    SIMPROF_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    SIMPROF_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    SIMPROF_EXPECTS(r < rows_, "row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    SIMPROF_EXPECTS(r < rows_, "row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<const double> flat() const { return data_; }
+  std::span<double> flat_mut() { return data_; }
+
+  /// Copy of one column (columns are strided; callers usually need them
+  /// contiguous for the univariate regression test).
+  std::vector<double> column(std::size_t c) const;
+
+  /// Keep only the given columns, in the given order.
+  Matrix select_columns(std::span<const std::size_t> cols) const;
+
+  /// Scale each row to sum 1 (rows summing to 0 are left untouched).
+  void normalize_rows_l1();
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Squared Euclidean distance between two equal-length vectors.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean distance.
+double distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace simprof::stats

@@ -1,0 +1,102 @@
+#include "stats/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/assert.h"
+
+namespace simprof::stats {
+
+double exact_silhouette(const Matrix& points,
+                        std::span<const std::size_t> labels,
+                        std::size_t num_clusters) {
+  const std::size_t n = points.rows();
+  SIMPROF_EXPECTS(labels.size() == n, "labels length mismatch");
+  if (n == 0 || num_clusters < 2) return 0.0;
+
+  std::vector<std::size_t> counts(num_clusters, 0);
+  for (auto l : labels) {
+    SIMPROF_EXPECTS(l < num_clusters, "label out of range");
+    ++counts[l];
+  }
+  std::size_t non_empty = 0;
+  for (auto c : counts) non_empty += (c > 0) ? 1 : 0;
+  if (non_empty < 2) return 0.0;
+
+  double total = 0.0;
+  std::vector<double> sums(num_clusters);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[labels[i]] <= 1) continue;  // singleton → s(i) = 0
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sums[labels[j]] += distance(points.row(i), points.row(j));
+    }
+    const double a =
+        sums[labels[i]] / static_cast<double>(counts[labels[i]] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      if (c == labels[i] || counts[c] == 0) continue;
+      b = std::min(b, sums[c] / static_cast<double>(counts[c]));
+    }
+    const double denom = std::max(a, b);
+    total += (denom > 0.0) ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+double sampled_silhouette(const Matrix& points,
+                          std::span<const std::size_t> labels,
+                          std::size_t num_clusters, std::size_t max_points) {
+  const std::size_t n = points.rows();
+  SIMPROF_EXPECTS(labels.size() == n, "labels length mismatch");
+  SIMPROF_EXPECTS(max_points >= 2, "need at least two sampled points");
+  if (n <= max_points) return exact_silhouette(points, labels, num_clusters);
+
+  const std::size_t stride = (n + max_points - 1) / max_points;
+  std::vector<std::size_t> picks;
+  picks.reserve(max_points);
+  for (std::size_t i = 0; i < n; i += stride) picks.push_back(i);
+
+  Matrix sub(picks.size(), points.cols());
+  std::vector<std::size_t> sub_labels(picks.size());
+  for (std::size_t j = 0; j < picks.size(); ++j) {
+    const auto src = points.row(picks[j]);
+    std::copy(src.begin(), src.end(), sub.row(j).begin());
+    sub_labels[j] = labels[picks[j]];
+  }
+  return exact_silhouette(sub, sub_labels, num_clusters);
+}
+
+double simplified_silhouette(const Matrix& points, const Matrix& centers,
+                             std::span<const std::size_t> labels) {
+  const std::size_t n = points.rows();
+  const std::size_t k = centers.rows();
+  SIMPROF_EXPECTS(labels.size() == n, "labels length mismatch");
+  if (n == 0 || k < 2) return 0.0;
+
+  std::vector<std::size_t> counts(k, 0);
+  for (auto l : labels) {
+    SIMPROF_EXPECTS(l < k, "label out of range");
+    ++counts[l];
+  }
+  std::size_t non_empty = 0;
+  for (auto c : counts) non_empty += (c > 0) ? 1 : 0;
+  if (non_empty < 2) return 0.0;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = distance(points.row(i), centers.row(labels[i]));
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == labels[i] || counts[c] == 0) continue;
+      b = std::min(b, distance(points.row(i), centers.row(c)));
+    }
+    const double denom = std::max(a, b);
+    total += (denom > 0.0) ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace simprof::stats

@@ -1,0 +1,41 @@
+// Silhouette coefficients for scoring a clustering.
+//
+// The paper scores each candidate k with the silhouette coefficient. The
+// exact coefficient is O(n²·d); for the per-unit feature matrices SimProf
+// clusters (hundreds to thousands of units) we default to the *simplified*
+// silhouette (distances to centroids, O(n·k·d)) which preserves the ordering
+// of ks in practice; the exact version is kept for validation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace simprof::stats {
+
+/// Exact mean silhouette over all points. Requires ≥ 2 non-empty clusters;
+/// returns 0 otherwise. Points in singleton clusters contribute 0 (sklearn
+/// convention).
+double exact_silhouette(const Matrix& points,
+                        std::span<const std::size_t> labels,
+                        std::size_t num_clusters);
+
+/// Simplified silhouette: a(i) = distance to own centroid, b(i) = distance
+/// to the nearest other centroid, s(i) = (b-a)/max(a,b). Returns 0 when
+/// fewer than 2 clusters are non-empty. Fast (O(n·k·d)) but inflates on
+/// unstructured data as k grows — use the sampled exact version to choose k.
+double simplified_silhouette(const Matrix& points, const Matrix& centers,
+                             std::span<const std::size_t> labels);
+
+/// Exact silhouette over a deterministic subsample of at most `max_points`
+/// points (every ⌈n/max_points⌉-th point). Exact silhouette resists the
+/// over-fitting inflation the paper warns about (Section V), and the
+/// subsample keeps the k = 1..20 sweep O(max_points²·d) per k.
+double sampled_silhouette(const Matrix& points,
+                          std::span<const std::size_t> labels,
+                          std::size_t num_clusters,
+                          std::size_t max_points = 400);
+
+}  // namespace simprof::stats

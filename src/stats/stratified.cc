@@ -1,0 +1,186 @@
+#include "stats/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/assert.h"
+
+namespace simprof::stats {
+namespace {
+
+/// Distribute `total` across strata proportionally to `weights` with
+/// largest-remainder rounding and population caps, then enforce the
+/// per-stratum floor by reassigning slots from the largest allocations.
+/// Any slots that cannot be placed (all strata at cap) are dropped.
+std::vector<std::size_t> allocate_by_weight(std::span<const Stratum> strata,
+                                            std::span<const double> weights,
+                                            std::size_t total,
+                                            std::size_t min_per_stratum) {
+  const std::size_t h = strata.size();
+  std::vector<std::size_t> alloc(h, 0);
+
+  // Largest-remainder apportionment with caps. Iterate because hitting a
+  // cap frees slots that re-flow to the remaining strata by weight.
+  std::size_t remaining = total;
+  while (remaining > 0) {
+    double active_weight = 0.0;
+    for (std::size_t i = 0; i < h; ++i) {
+      if (alloc[i] < strata[i].population) active_weight += weights[i];
+    }
+    if (active_weight <= 0.0) break;
+
+    std::vector<std::pair<double, std::size_t>> frac;  // (remainder, idx)
+    std::size_t placed = 0;
+    std::vector<std::size_t> add(h, 0);
+    for (std::size_t i = 0; i < h; ++i) {
+      if (alloc[i] >= strata[i].population) continue;
+      const double share =
+          static_cast<double>(remaining) * weights[i] / active_weight;
+      const auto base = static_cast<std::size_t>(share);
+      const std::size_t cap = strata[i].population - alloc[i];
+      add[i] = std::min(base, cap);
+      placed += add[i];
+      if (add[i] < cap) frac.emplace_back(share - static_cast<double>(base), i);
+    }
+    std::stable_sort(
+        frac.begin(), frac.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [rem, i] : frac) {
+      (void)rem;
+      if (placed >= remaining) break;
+      if (alloc[i] + add[i] < strata[i].population) {
+        ++add[i];
+        ++placed;
+      }
+    }
+    if (placed == 0) break;  // everyone capped
+    for (std::size_t i = 0; i < h; ++i) alloc[i] += add[i];
+    remaining -= std::min(placed, remaining);
+  }
+
+  // Enforce the floor: every non-empty stratum keeps at least
+  // min(min_per_stratum, population) slots, funded by the largest
+  // allocations so the Neyman proportions are disturbed minimally.
+  for (std::size_t i = 0; i < h; ++i) {
+    const std::size_t floor_i =
+        std::min<std::size_t>(min_per_stratum, strata[i].population);
+    while (alloc[i] < floor_i) {
+      std::size_t donor = h;
+      std::size_t donor_excess = 0;
+      for (std::size_t j = 0; j < h; ++j) {
+        if (j == i) continue;
+        const std::size_t floor_j =
+            std::min<std::size_t>(min_per_stratum, strata[j].population);
+        if (alloc[j] > floor_j && alloc[j] - floor_j > donor_excess) {
+          donor = j;
+          donor_excess = alloc[j] - floor_j;
+        }
+      }
+      if (donor == h) {
+        ++alloc[i];  // nothing to steal: grow the total instead of starving
+      } else {
+        --alloc[donor];
+        ++alloc[i];
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace
+
+std::vector<std::size_t> optimal_allocation(std::span<const Stratum> strata,
+                                            std::size_t total,
+                                            std::size_t min_per_stratum) {
+  SIMPROF_EXPECTS(!strata.empty(), "no strata");
+  std::vector<double> w(strata.size(), 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < strata.size(); ++i) {
+    w[i] = static_cast<double>(strata[i].population) * strata[i].stddev;
+    sum += w[i];
+  }
+  if (sum <= 0.0) {
+    // All phases perfectly homogeneous: fall back to proportional.
+    for (std::size_t i = 0; i < strata.size(); ++i) {
+      w[i] = static_cast<double>(strata[i].population);
+    }
+  }
+  return allocate_by_weight(strata, w, total, min_per_stratum);
+}
+
+std::vector<std::size_t> proportional_allocation(
+    std::span<const Stratum> strata, std::size_t total,
+    std::size_t min_per_stratum) {
+  SIMPROF_EXPECTS(!strata.empty(), "no strata");
+  std::vector<double> w(strata.size(), 0.0);
+  for (std::size_t i = 0; i < strata.size(); ++i) {
+    w[i] = static_cast<double>(strata[i].population);
+  }
+  return allocate_by_weight(strata, w, total, min_per_stratum);
+}
+
+double stratified_standard_error(std::span<const Stratum> strata,
+                                 std::span<const std::size_t> sample_sizes) {
+  SIMPROF_EXPECTS(strata.size() == sample_sizes.size(),
+                  "strata/sample size mismatch");
+  double n_total = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < strata.size(); ++i) {
+    const double nh = static_cast<double>(sample_sizes[i]);
+    const double nh_pop = static_cast<double>(strata[i].population);
+    n_total += nh_pop;
+    if (nh <= 0.0 || nh_pop <= 0.0) continue;
+    const double fpc = 1.0 - nh / nh_pop;  // finite population correction
+    const double s2 = strata[i].stddev * strata[i].stddev;
+    acc += nh_pop * nh_pop * fpc * s2 / nh;
+  }
+  if (n_total <= 0.0) return 0.0;
+  return std::sqrt(acc) / n_total;
+}
+
+double stratified_population_mean(std::span<const Stratum> strata) {
+  double num = 0.0, den = 0.0;
+  for (const auto& s : strata) {
+    num += static_cast<double>(s.population) * s.mean;
+    den += static_cast<double>(s.population);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+std::size_t required_sample_size(std::span<const Stratum> strata,
+                                 double rel_margin, double z) {
+  SIMPROF_EXPECTS(rel_margin > 0.0, "relative margin must be positive");
+  SIMPROF_EXPECTS(z > 0.0, "z must be positive");
+
+  double n_pop = 0.0;
+  for (const auto& s : strata) n_pop += static_cast<double>(s.population);
+  if (n_pop <= 0.0) return 1;
+
+  const double mu = stratified_population_mean(strata);
+  if (mu <= 0.0) return 1;
+
+  double sum_w_sigma = 0.0;   // Σ W_h σ_h
+  double sum_w_sigma2 = 0.0;  // Σ W_h σ_h²
+  for (const auto& s : strata) {
+    const double w = static_cast<double>(s.population) / n_pop;
+    sum_w_sigma += w * s.stddev;
+    sum_w_sigma2 += w * s.stddev * s.stddev;
+  }
+  if (sum_w_sigma <= 0.0) return 1;  // zero variance: one unit suffices
+
+  // Under Neyman allocation: Var(n) = (ΣW_hσ_h)²/n − ΣW_hσ_h²/N.
+  // Solve z²·Var(n) ≤ (rel_margin·μ)².
+  const double target_var = (rel_margin * mu / z) * (rel_margin * mu / z);
+  const double denom = target_var + sum_w_sigma2 / n_pop;
+  double n = (sum_w_sigma * sum_w_sigma) / denom;
+  n = std::clamp(n, 1.0, n_pop);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+ConfidenceInterval confidence_interval(double sample_mean, double se,
+                                       double z) {
+  return ConfidenceInterval{sample_mean, z * se};
+}
+
+}  // namespace simprof::stats

@@ -1,0 +1,70 @@
+// Stratified random sampling mathematics (Section III-C of the paper).
+//
+//  * Neyman "optimal allocation" (Eq. 1): n_h = n · N_h·σ_h / Σ N_i·σ_i
+//  * stratified standard error with finite-population correction (Eq. 4)
+//  * confidence intervals (Eqs. 2–3) at a caller-chosen z (99.7% → z = 3)
+//  * the inverse problem: smallest n achieving a target relative margin of
+//    error, used for the paper's Figure 8.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace simprof::stats {
+
+/// Per-stratum description: population size and CPI standard deviation.
+struct Stratum {
+  std::size_t population = 0;  ///< N_h — sampling units in the phase
+  double stddev = 0.0;         ///< σ_h — CPI standard deviation of the phase
+  double mean = 0.0;           ///< phase CPI mean (used by estimators)
+};
+
+/// Eq. 1. Allocates `total` sample slots across strata proportionally to
+/// N_h·σ_h, using largest-remainder rounding. Each non-empty stratum gets at
+/// least `min_per_stratum` (clamped to its population), and no stratum is
+/// allocated more units than it has. If every σ_h is 0 the allocation falls
+/// back to proportional-to-population.
+std::vector<std::size_t> optimal_allocation(std::span<const Stratum> strata,
+                                            std::size_t total,
+                                            std::size_t min_per_stratum = 1);
+
+/// Proportional allocation (n_h ∝ N_h) — the classical alternative; kept as
+/// an ablation baseline for the Figure 11 bench.
+std::vector<std::size_t> proportional_allocation(
+    std::span<const Stratum> strata, std::size_t total,
+    std::size_t min_per_stratum = 1);
+
+/// Eq. 4: SE of the stratified mean estimator given realized per-stratum
+/// sample sizes (entries with n_h = 0 or N_h = 0 contribute 0, matching the
+/// convention that a zero-variance or unsampled stratum adds no estimator
+/// variance — callers should ensure n_h ≥ 1 wherever σ_h > 0).
+double stratified_standard_error(std::span<const Stratum> strata,
+                                 std::span<const std::size_t> sample_sizes);
+
+/// Population mean implied by the strata (Σ N_h·μ_h / Σ N_h).
+double stratified_population_mean(std::span<const Stratum> strata);
+
+/// Smallest total sample size n such that, under optimal allocation,
+/// z·SE ≤ rel_margin·mean. Derived from Var_opt(n) = (ΣW_hσ_h)²/n − ΣW_hσ_h²/N.
+/// Returns at least 1 and at most the total population.
+std::size_t required_sample_size(std::span<const Stratum> strata,
+                                 double rel_margin, double z);
+
+/// z-scores for common confidence levels.
+inline constexpr double kZ95 = 1.959963984540054;
+inline constexpr double kZ99 = 2.5758293035489004;
+inline constexpr double kZ997 = 3.0;  ///< the paper's "99.7%" three-sigma
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double margin = 0.0;  ///< z · SE
+  double low() const { return mean - margin; }
+  double high() const { return mean + margin; }
+};
+
+/// Eqs. 2–3 around an externally computed sample mean.
+ConfidenceInterval confidence_interval(double sample_mean, double se,
+                                       double z);
+
+}  // namespace simprof::stats

@@ -1,0 +1,15 @@
+#include "support/assert.h"
+
+#include <sstream>
+
+namespace simprof::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace simprof::detail

@@ -1,0 +1,51 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6/I.8). Violations throw simprof::ContractViolation so
+// tests can assert on them; they are never compiled out because the library
+// is a measurement tool where silent corruption is worse than the check cost.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace simprof {
+
+/// Thrown when a precondition, postcondition, or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& msg);
+}  // namespace detail
+
+}  // namespace simprof
+
+/// Precondition check: argument/state validation at function entry.
+#define SIMPROF_EXPECTS(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::simprof::detail::contract_failure("Precondition", #cond, __FILE__,    \
+                                          __LINE__, (msg));                   \
+    }                                                                         \
+  } while (false)
+
+/// Postcondition / invariant check inside or at the end of a function.
+#define SIMPROF_ENSURES(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::simprof::detail::contract_failure("Postcondition", #cond, __FILE__,   \
+                                          __LINE__, (msg));                   \
+    }                                                                         \
+  } while (false)
+
+/// Internal-logic check ("this cannot happen").
+#define SIMPROF_ASSERT(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::simprof::detail::contract_failure("Assertion", #cond, __FILE__,       \
+                                          __LINE__, (msg));                   \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,30 @@
+#include "support/interner.h"
+
+#include "support/assert.h"
+
+namespace simprof {
+
+StringInterner::Id StringInterner::intern(std::string_view s) {
+  if (auto it = ids_.find(std::string(s)); it != ids_.end()) {
+    return it->second;
+  }
+  const Id id = static_cast<Id>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<StringInterner::Id> StringInterner::find(
+    std::string_view s) const {
+  if (auto it = ids_.find(std::string(s)); it != ids_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+const std::string& StringInterner::name(Id id) const {
+  SIMPROF_EXPECTS(id < names_.size(), "unknown interned id");
+  return names_[id];
+}
+
+}  // namespace simprof

@@ -1,0 +1,37 @@
+// String interning: maps strings to dense 32-bit ids.
+//
+// The JVM substrate interns fully-qualified method names; feature vectors and
+// phase centers then work with ids instead of strings, exactly as a JVMTI
+// agent would key on jmethodID.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace simprof {
+
+class StringInterner {
+ public:
+  using Id = std::uint32_t;
+
+  /// Intern `s`, returning its id (existing or freshly assigned).
+  Id intern(std::string_view s);
+
+  /// Look up an already-interned string; nullopt if never interned.
+  std::optional<Id> find(std::string_view s) const;
+
+  /// The string for an id. Precondition: id < size().
+  const std::string& name(Id id) const;
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Id> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace simprof

@@ -1,0 +1,47 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace simprof {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  SIMPROF_EXPECTS(bound > 0, "next_below requires a positive bound");
+  // Lemire, "Fast Random Integer Generation in an Interval" (2018).
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::next_gaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box–Muller; u clamped away from 0 so log() stays finite.
+  double u = next_double();
+  if (u < 1e-300) u = 1e-300;
+  const double v = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * 3.14159265358979323846 * v;
+  spare_gaussian_ = r * std::sin(theta);
+  have_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  // Seed the child from two draws so parent and child streams diverge.
+  SplitMix64 sm(next_u64() ^ (next_u64() << 1 | 1));
+  child.state_[0] = sm.next();
+  child.state_[1] = sm.next();
+  child.state_[2] = sm.next();
+  child.state_[3] = sm.next();
+  return child;
+}
+
+}  // namespace simprof

@@ -1,0 +1,44 @@
+#include "support/serialize.h"
+
+namespace simprof {
+
+void BinaryWriter::vec_u32(const std::vector<std::uint32_t>& v) {
+  u64(v.size());
+  for (auto e : v) u32(e);
+}
+
+void BinaryWriter::vec_u64(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (auto e : v) u64(e);
+}
+
+void BinaryWriter::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  for (auto e : v) f64(e);
+}
+
+std::vector<std::uint32_t> BinaryReader::vec_u32() {
+  const auto n = u64();
+  SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive");
+  std::vector<std::uint32_t> v(n);
+  for (auto& e : v) e = u32();
+  return v;
+}
+
+std::vector<std::uint64_t> BinaryReader::vec_u64() {
+  const auto n = u64();
+  SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive");
+  std::vector<std::uint64_t> v(n);
+  for (auto& e : v) e = u64();
+  return v;
+}
+
+std::vector<double> BinaryReader::vec_f64() {
+  const auto n = u64();
+  SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive");
+  std::vector<double> v(n);
+  for (auto& e : v) e = f64();
+  return v;
+}
+
+}  // namespace simprof

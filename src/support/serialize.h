@@ -1,0 +1,93 @@
+// Minimal binary (de)serialization used by the WorkloadLab profile cache.
+//
+// Format: little-endian fixed-width integers, doubles as IEEE-754 bits,
+// strings/vectors length-prefixed with uint64. A magic+version header at the
+// archive level is the caller's responsibility.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace simprof {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& write_one) {
+    u64(v.size());
+    for (const auto& e : v) write_one(*this, e);
+  }
+
+  void vec_u32(const std::vector<std::uint32_t>& v);
+  void vec_u64(const std::vector<std::uint64_t>& v);
+  void vec_f64(const std::vector<double>& v);
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  }
+  std::ostream& out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
+  std::uint32_t u32() { std::uint32_t v; raw(&v, sizeof v); return v; }
+  std::uint64_t u64() { std::uint64_t v; raw(&v, sizeof v); return v; }
+  double f64() { double v; raw(&v, sizeof v); return v; }
+
+  std::string str() {
+    const auto n = u64();
+    SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive: string too long");
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& read_one) {
+    const auto n = u64();
+    SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive: vector too long");
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_one(*this));
+    return v;
+  }
+
+  std::vector<std::uint32_t> vec_u32();
+  std::vector<std::uint64_t> vec_u64();
+  std::vector<double> vec_f64();
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    SIMPROF_EXPECTS(static_cast<std::size_t>(in_.gcount()) == n,
+                    "corrupt archive: truncated read");
+  }
+  std::istream& in_;
+};
+
+}  // namespace simprof

@@ -1,0 +1,39 @@
+// Aligned-text and CSV table emission for the benchmark harnesses.
+//
+// Every figure bench prints (a) an aligned human-readable table matching the
+// paper's rows/series and (b) a machine-readable CSV block, so results can be
+// re-plotted without re-running the experiment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace simprof {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 3);
+  /// Format as percentage ("12.3%").
+  static std::string pct(double fraction, int prec = 1);
+
+  void print_aligned(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  /// Aligned table followed by a csv block delimited with "-- csv --".
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simprof

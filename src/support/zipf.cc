@@ -1,0 +1,35 @@
+#include "support/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace simprof {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  SIMPROF_EXPECTS(n > 0, "Zipf vocabulary must be non-empty");
+  SIMPROF_EXPECTS(s >= 0.0, "Zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s_);
+    cdf_[k] = acc;
+  }
+  norm_ = acc;
+  for (auto& v : cdf_) v /= norm_;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  SIMPROF_EXPECTS(rank < cdf_.size(), "rank out of range");
+  return 1.0 / std::pow(static_cast<double>(rank + 1), s_) / norm_;
+}
+
+}  // namespace simprof

@@ -1,0 +1,37 @@
+// Zipf-distributed sampling for the text-corpus synthesizer.
+//
+// BigDataBench's text generator draws words from a power-law vocabulary; the
+// skew exponent controls how "heavy" the hot words are, which in turn drives
+// the combiner hit-rate and hash-map sizes in WordCount/Grep/NaiveBayes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace simprof {
+
+/// Samples ranks in [0, n) with P(rank k) ∝ 1/(k+1)^s using an inverted-CDF
+/// table built once at construction (O(n) memory, O(log n) per sample).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+  /// Draw one rank; rank 0 is the most frequent item.
+  std::size_t sample(Rng& rng) const;
+
+  /// Expected probability of a given rank (for tests).
+  double probability(std::size_t rank) const;
+
+ private:
+  double s_ = 1.0;
+  double norm_ = 1.0;
+  std::vector<double> cdf_;
+};
+
+}  // namespace simprof

@@ -1,0 +1,169 @@
+// Unit tests for phase formation: feature vectorization, regression-based
+// feature selection, k choice, per-phase stats, CoV summary and phase typing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/phase.h"
+#include "support/assert.h"
+#include "test_util.h"
+
+namespace simprof::core {
+namespace {
+
+TEST(FeatureMatrix, RowNormalizedMethodFrequencies) {
+  auto p = testing::synthetic_profile({{1, 1.0, 0.0, 1}});
+  const auto m = build_feature_matrix(p);
+  ASSERT_EQ(m.rows(), 1u);
+  ASSERT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.25);  // framework method: 10 of 40
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.75);  // dominant method: 30 of 40
+}
+
+TEST(FormPhases, SeparatesTwoDistinctPhases) {
+  auto p = testing::synthetic_profile(
+      {{40, 0.5, 0.02, 1}, {40, 2.0, 0.05, 2}});
+  const PhaseModel model = form_phases(p);
+  EXPECT_EQ(model.k, 2u);
+  // All units dominated by method 1 share a label, likewise method 2.
+  const std::size_t l0 = model.labels[0];
+  for (std::size_t u = 0; u < p.num_units(); ++u) {
+    if (p.units[u].methods[1] == 1) {
+      EXPECT_EQ(model.labels[u], l0);
+    } else {
+      EXPECT_NE(model.labels[u], l0);
+    }
+  }
+  // Phase stats reflect the construction.
+  double means[2] = {model.phases[0].mean_cpi, model.phases[1].mean_cpi};
+  std::sort(means, means + 2);
+  EXPECT_NEAR(means[0], 0.5, 0.05);
+  EXPECT_NEAR(means[1], 2.0, 0.10);
+  EXPECT_EQ(model.phases[0].count + model.phases[1].count, 80u);
+  EXPECT_NEAR(model.phases[0].weight + model.phases[1].weight, 1.0, 1e-12);
+}
+
+TEST(FormPhases, UniformProfileCollapsesToOnePhase) {
+  auto p = testing::synthetic_profile({{60, 1.0, 0.05, 1}});
+  const PhaseModel model = form_phases(p);
+  EXPECT_EQ(model.k, 1u);
+}
+
+TEST(FormPhases, MaxKTwentyByDefault) {
+  std::vector<testing::SyntheticPhase> phases;
+  for (jvm::MethodId m = 1; m <= 30; ++m) {
+    phases.push_back({8, 0.3 + 0.11 * m, 0.01, m});
+  }
+  auto p = testing::synthetic_profile(phases);
+  const PhaseModel model = form_phases(p);
+  EXPECT_LE(model.k, 20u);
+  EXPECT_EQ(model.silhouette_scores.size(), 20u);
+}
+
+TEST(FormPhases, TopKFeatureLimitRespected) {
+  auto p = testing::synthetic_profile({{30, 0.5, 0.01, 1},
+                                       {30, 1.5, 0.01, 2},
+                                       {30, 2.5, 0.01, 3}});
+  PhaseFormationConfig cfg;
+  cfg.top_k_features = 2;
+  const PhaseModel model = form_phases(p, cfg);
+  EXPECT_LE(model.feature_names.size(), 2u);
+}
+
+TEST(FormPhases, EmptyProfileThrows) {
+  ThreadProfile p;
+  EXPECT_THROW(form_phases(p), ContractViolation);
+}
+
+TEST(FormPhases, RepresentativeUnitsBelongToTheirPhase) {
+  auto p = testing::synthetic_profile({{25, 0.5, 0.05, 1}, {25, 2.0, 0.1, 2}});
+  const PhaseModel model = form_phases(p);
+  for (std::size_t h = 0; h < model.k; ++h) {
+    EXPECT_EQ(model.labels[model.representative_units[h]], h);
+  }
+}
+
+TEST(FormPhases, PhaseTypingUsesDominantNonFrameworkKind) {
+  // Build a profile whose dominant method kinds differ per phase.
+  ThreadProfile p;
+  p.method_names = {"framework.Thread.run", "app.Mapper.map",
+                    "app.Sorter.sort"};
+  p.method_kinds = {jvm::OpKind::kFramework, jvm::OpKind::kMap,
+                    jvm::OpKind::kSort};
+  Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    UnitRecord u;
+    u.unit_id = p.units.size();
+    const bool sort_unit = (i % 2) == 0;
+    const double cpi = sort_unit ? 1.8 + 0.02 * rng.next_gaussian()
+                                 : 0.6 + 0.02 * rng.next_gaussian();
+    u.counters.instructions = 1'000'000;
+    u.counters.cycles = static_cast<std::uint64_t>(cpi * 1e6);
+    u.methods = {0, sort_unit ? jvm::MethodId{2} : jvm::MethodId{1}};
+    u.counts = {10, 30};
+    p.units.push_back(std::move(u));
+  }
+  const PhaseModel model = form_phases(p);
+  ASSERT_EQ(model.k, 2u);
+  std::set<jvm::OpKind> kinds(model.phase_types.begin(),
+                              model.phase_types.end());
+  EXPECT_TRUE(kinds.contains(jvm::OpKind::kMap));
+  EXPECT_TRUE(kinds.contains(jvm::OpKind::kSort));
+}
+
+TEST(CovSummary, WeightedBelowPopulationForSeparatedPhases) {
+  auto p = testing::synthetic_profile(
+      {{50, 0.5, 0.02, 1}, {50, 2.5, 0.02, 2}});
+  const PhaseModel model = form_phases(p);
+  const auto cov = cov_summary(p, model);
+  EXPECT_GT(cov.population, 0.4);
+  EXPECT_LT(cov.weighted, 0.2 * cov.population);
+  EXPECT_LE(cov.weighted, cov.maximum + 1e-12);
+}
+
+TEST(VectorizeUnit, MatchesByMethodNameAndNormalizes) {
+  auto p = testing::synthetic_profile({{10, 1.0, 0.0, 1}, {10, 2.0, 0.0, 2}});
+  const PhaseModel model = form_phases(p);
+  const auto v = vectorize_unit(model, p, 0);
+  ASSERT_EQ(v.size(), model.feature_names.size());
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(VectorizeUnit, UnknownMethodsIgnored) {
+  auto train = testing::synthetic_profile({{10, 1.0, 0.0, 1}});
+  const PhaseModel model = form_phases(train);
+  // A reference profile with a totally different method table.
+  ThreadProfile ref;
+  ref.method_names = {"other.M.x"};
+  ref.method_kinds = {jvm::OpKind::kMap};
+  UnitRecord u;
+  u.counters.instructions = 100;
+  u.counters.cycles = 100;
+  u.methods = {0};
+  u.counts = {5};
+  ref.units.push_back(u);
+  const auto v = vectorize_unit(model, ref, 0);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(PhaseStatsFor, HandlesEmptyPhases) {
+  auto p = testing::synthetic_profile({{4, 1.0, 0.0, 1}});
+  std::vector<std::size_t> labels(4, 0);
+  const auto stats = phase_stats_for(p, labels, 3);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].count, 4u);
+  EXPECT_EQ(stats[1].count, 0u);
+  EXPECT_DOUBLE_EQ(stats[1].weight, 0.0);
+}
+
+TEST(PhaseStatsFor, LabelOutOfRangeThrows) {
+  auto p = testing::synthetic_profile({{2, 1.0, 0.0, 1}});
+  std::vector<std::size_t> labels{0, 5};
+  EXPECT_THROW(phase_stats_for(p, labels, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace simprof::core

@@ -1,0 +1,123 @@
+// Unit tests for thread profiling: snapshot histogram accumulation, unit
+// records, self-contained method tables and serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/profile.h"
+#include "support/assert.h"
+#include "test_util.h"
+
+namespace simprof::core {
+namespace {
+
+TEST(SamplingManager, AccumulatesSnapshotsIntoUnitHistograms) {
+  jvm::MethodRegistry reg;
+  const auto a = reg.intern("m.A", jvm::OpKind::kMap);
+  const auto b = reg.intern("m.B", jvm::OpKind::kReduce);
+
+  SamplingManager mgr(reg);
+  const std::vector<jvm::MethodId> s1{a};
+  const std::vector<jvm::MethodId> s2{a, b};
+  mgr.on_snapshot(s1);
+  mgr.on_snapshot(s2);
+  mgr.on_snapshot(s2);
+  hw::PmuCounters delta;
+  delta.instructions = 1000;
+  delta.cycles = 1500;
+  mgr.on_unit_boundary(delta);
+
+  ThreadProfile p = mgr.take_profile();
+  ASSERT_EQ(p.num_units(), 1u);
+  const UnitRecord& u = p.units[0];
+  ASSERT_EQ(u.methods.size(), 2u);
+  EXPECT_EQ(u.methods[0], a);
+  EXPECT_EQ(u.counts[0], 3u);  // a appeared in all three snapshots
+  EXPECT_EQ(u.counts[1], 2u);
+  EXPECT_DOUBLE_EQ(u.cpi(), 1.5);
+}
+
+TEST(SamplingManager, HistogramResetsBetweenUnits) {
+  jvm::MethodRegistry reg;
+  const auto a = reg.intern("m.A", jvm::OpKind::kMap);
+  SamplingManager mgr(reg);
+  const std::vector<jvm::MethodId> s{a};
+  mgr.on_snapshot(s);
+  mgr.on_unit_boundary({});
+  mgr.on_snapshot(s);
+  mgr.on_snapshot(s);
+  mgr.on_unit_boundary({});
+  ThreadProfile p = mgr.take_profile();
+  ASSERT_EQ(p.num_units(), 2u);
+  EXPECT_EQ(p.units[0].counts[0], 1u);
+  EXPECT_EQ(p.units[1].counts[0], 2u);
+  EXPECT_EQ(p.units[1].unit_id, 1u);
+}
+
+TEST(SamplingManager, RecursiveFramesCountPerAppearance) {
+  jvm::MethodRegistry reg;
+  const auto a = reg.intern("m.Rec", jvm::OpKind::kCompute);
+  SamplingManager mgr(reg);
+  const std::vector<jvm::MethodId> deep{a, a, a};
+  mgr.on_snapshot(deep);
+  mgr.on_unit_boundary({});
+  ThreadProfile p = mgr.take_profile();
+  EXPECT_EQ(p.units[0].counts[0], 3u);
+}
+
+TEST(ThreadProfile, OracleCpiIsUnweightedUnitMean) {
+  // Paper: oracle CPI is the average of the per-unit CPIs.
+  auto p = testing::synthetic_profile({{2, 1.0, 0.0, 1}, {2, 3.0, 0.0, 2}});
+  EXPECT_NEAR(p.oracle_cpi(), 2.0, 1e-9);
+  EXPECT_EQ(p.cpis().size(), 4u);
+}
+
+TEST(ThreadProfile, TotalsSumUnits) {
+  auto p = testing::synthetic_profile({{3, 1.0, 0.0, 1}}, 7, 1000);
+  EXPECT_EQ(p.total_instructions(), 3000u);
+  EXPECT_EQ(p.total_cycles(), 3000u);
+}
+
+TEST(ThreadProfile, SaveLoadRoundTrip) {
+  auto p = testing::synthetic_profile({{5, 1.2, 0.3, 1}, {4, 0.7, 0.1, 2}});
+  p.units[0].counters.llc_misses = 99;
+  std::stringstream buf;
+  p.save(buf);
+  const ThreadProfile q = ThreadProfile::load(buf);
+  ASSERT_EQ(q.num_units(), p.num_units());
+  ASSERT_EQ(q.num_methods(), p.num_methods());
+  EXPECT_EQ(q.method_names, p.method_names);
+  for (std::size_t i = 0; i < p.num_units(); ++i) {
+    EXPECT_EQ(q.units[i].counters.cycles, p.units[i].counters.cycles);
+    EXPECT_EQ(q.units[i].methods, p.units[i].methods);
+    EXPECT_EQ(q.units[i].counts, p.units[i].counts);
+  }
+  EXPECT_EQ(q.units[0].counters.llc_misses, 99u);
+}
+
+TEST(ThreadProfile, LoadRejectsGarbage) {
+  std::stringstream buf("this is not a profile at all, sorry");
+  EXPECT_THROW(ThreadProfile::load(buf), ContractViolation);
+}
+
+TEST(ThreadProfile, LoadRejectsTruncated) {
+  auto p = testing::synthetic_profile({{3, 1.0, 0.0, 1}});
+  std::stringstream buf;
+  p.save(buf);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(ThreadProfile::load(cut), ContractViolation);
+}
+
+TEST(SyntheticProfile, InterleavesPhases) {
+  auto p = testing::synthetic_profile({{3, 1.0, 0.0, 1}, {3, 2.0, 0.0, 2}});
+  ASSERT_EQ(p.num_units(), 6u);
+  // Round-robin interleave: units alternate dominant methods.
+  EXPECT_EQ(p.units[0].methods[1], 1u);
+  EXPECT_EQ(p.units[1].methods[1], 2u);
+  EXPECT_EQ(p.units[2].methods[1], 1u);
+}
+
+}  // namespace
+}  // namespace simprof::core

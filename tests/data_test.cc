@@ -1,0 +1,247 @@
+// Unit tests for the data synthesizers: Zipf text corpora, CSR graphs,
+// Kronecker generation and the Table II catalog.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/catalog.h"
+#include "data/graph.h"
+#include "data/kronecker.h"
+#include "data/text.h"
+#include "support/assert.h"
+
+namespace simprof::data {
+namespace {
+
+TextConfig tiny_text() {
+  TextConfig cfg;
+  cfg.num_words = 20'000;
+  cfg.vocabulary = 5'000;
+  cfg.mean_doc_words = 50;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(TextCorpus, ExactWordCountAndDocPartition) {
+  const TextCorpus c = TextCorpus::synthesize(tiny_text());
+  EXPECT_EQ(c.words().size(), 20'000u);
+  std::uint64_t sum = 0;
+  for (std::size_t d = 0; d < c.num_docs(); ++d) sum += c.doc(d).size();
+  EXPECT_EQ(sum, 20'000u);
+  EXPECT_GT(c.num_docs(), 100u);
+}
+
+TEST(TextCorpus, DeterministicPerSeed) {
+  const TextCorpus a = TextCorpus::synthesize(tiny_text());
+  const TextCorpus b = TextCorpus::synthesize(tiny_text());
+  ASSERT_EQ(a.words().size(), b.words().size());
+  for (std::size_t i = 0; i < a.words().size(); ++i) {
+    ASSERT_EQ(a.words()[i], b.words()[i]) << "at " << i;
+  }
+  auto cfg = tiny_text();
+  cfg.seed = 10;
+  const TextCorpus c = TextCorpus::synthesize(cfg);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.words().size(); ++i) {
+    diff += (a.words()[i] != c.words()[i]) ? 1 : 0;
+  }
+  EXPECT_GT(diff, 1000u);
+}
+
+TEST(TextCorpus, ZipfSkewMakesHotWords) {
+  const TextCorpus c = TextCorpus::synthesize(tiny_text());
+  std::map<WordId, std::size_t> counts;
+  for (WordId w : c.words()) ++counts[w];
+  // Word 0 (hottest rank) must appear far more often than vocabulary/2.
+  EXPECT_GT(counts[0], counts[2500] * 10 + 10);
+}
+
+TEST(TextCorpus, LabelsOnlyWhenRequested) {
+  const TextCorpus plain = TextCorpus::synthesize(tiny_text());
+  EXPECT_EQ(plain.label(0), 0u);
+
+  auto cfg = tiny_text();
+  cfg.num_classes = 3;
+  const TextCorpus labeled = TextCorpus::synthesize(cfg);
+  std::set<std::uint32_t> seen;
+  for (std::size_t d = 0; d < labeled.num_docs(); ++d) {
+    seen.insert(labeled.label(d));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(TextCorpus, WordBytesDeterministicAndBounded) {
+  for (WordId w : {0u, 1u, 17u, 100'000u}) {
+    const auto b = TextCorpus::word_bytes(w);
+    EXPECT_EQ(b, TextCorpus::word_bytes(w));
+    EXPECT_GE(b, 4u);
+    EXPECT_LE(b, 13u);
+  }
+}
+
+TEST(TextCorpus, TotalBytesIsSumOfWordBytes) {
+  const TextCorpus c = TextCorpus::synthesize(tiny_text());
+  std::uint64_t sum = 0;
+  for (WordId w : c.words()) sum += TextCorpus::word_bytes(w);
+  EXPECT_EQ(c.total_bytes(), sum);
+}
+
+TEST(Graph, CsrFromEdgesBasics) {
+  std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 2}, {2, 0}};
+  const Graph g = Graph::from_edges(3, edges, /*symmetrize=*/false);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 2u);
+}
+
+TEST(Graph, DuplicateEdgesCollapse) {
+  std::vector<Edge> edges{{0, 1}, {0, 1}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges, false);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, SymmetrizeAddsReverseEdges) {
+  std::vector<Edge> edges{{0, 1}};
+  const Graph g = Graph::from_edges(2, edges, /*symmetrize=*/true);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+}
+
+TEST(Graph, SelfLoopNotDuplicatedBySymmetrize) {
+  std::vector<Edge> edges{{1, 1}};
+  const Graph g = Graph::from_edges(2, edges, true);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, OutOfRangeEndpointThrows) {
+  std::vector<Edge> edges{{0, 5}};
+  EXPECT_THROW(Graph::from_edges(2, edges, false), ContractViolation);
+}
+
+TEST(Graph, UnionFindGroundTruth) {
+  // Two components: {0,1,2} and {3,4}; vertex 5 isolated.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {3, 4}};
+  const Graph g = Graph::from_edges(6, edges, true);
+  const auto labels = connected_components_ground_truth(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(labels[5], 5u);
+  EXPECT_EQ(labels[0], 0u);  // smallest-id labeling
+}
+
+TEST(Kronecker, VertexCountMatchesScale) {
+  KroneckerConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8.0;
+  const Graph g = kronecker_graph(cfg, false);
+  EXPECT_EQ(g.num_vertices(), 256u);
+  // Duplicates collapse, so realized edges are below the nominal count but
+  // within a sane band.
+  EXPECT_GT(g.num_edges(), 500u);
+  EXPECT_LE(g.num_edges(), 2048u);
+}
+
+TEST(Kronecker, DeterministicPerSeed) {
+  KroneckerConfig cfg;
+  cfg.scale = 8;
+  const Graph a = kronecker_graph(cfg, false);
+  const Graph b = kronecker_graph(cfg, false);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  cfg.seed += 1;
+  const Graph c = kronecker_graph(cfg, false);
+  EXPECT_NE(a.num_edges(), c.num_edges());
+}
+
+TEST(Kronecker, SkewedInitiatorConcentratesDegree) {
+  KroneckerConfig web;  // default initiator is web-like (high a)
+  web.scale = 10;
+  web.edge_factor = 8.0;
+  const Graph g = kronecker_graph(web, false);
+  // Hubs: the max out-degree should far exceed the mean.
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.out_degree(v));
+  }
+  const double mean_deg =
+      static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(max_deg, 8 * mean_deg);
+}
+
+TEST(Kronecker, NoiseFlattensDegreeDistribution) {
+  KroneckerConfig skewed;
+  skewed.scale = 10;
+  skewed.edge_factor = 8.0;
+  KroneckerConfig road = skewed;
+  road.a = 0.3;
+  road.b = road.c = 0.25;
+  road.d = 0.2;
+  road.noise = 0.35;
+  auto max_degree = [](const Graph& g) {
+    std::uint32_t m = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      m = std::max(m, g.out_degree(v));
+    }
+    return m;
+  };
+  EXPECT_LT(max_degree(kronecker_graph(road, false)),
+            max_degree(kronecker_graph(skewed, false)));
+}
+
+TEST(Kronecker, RejectsBadConfig) {
+  KroneckerConfig cfg;
+  cfg.scale = 0;
+  EXPECT_THROW(kronecker_graph(cfg, false), ContractViolation);
+  cfg = KroneckerConfig{};
+  cfg.noise = 0.9;
+  EXPECT_THROW(kronecker_graph(cfg, false), ContractViolation);
+}
+
+TEST(Catalog, HasAllEightTableTwoInputs) {
+  const auto cat = snap_catalog();
+  ASSERT_EQ(cat.size(), 8u);
+  EXPECT_EQ(cat[0].name, "Google");
+  EXPECT_TRUE(cat[0].training);
+  std::size_t training = 0;
+  for (const auto& e : cat) training += e.training ? 1 : 0;
+  EXPECT_EQ(training, 1u);  // exactly one training input (the paper's split)
+  std::set<std::uint64_t> seeds;
+  for (const auto& e : cat) seeds.insert(e.kron.seed);
+  EXPECT_EQ(seeds.size(), 8u);  // all inputs use distinct streams
+}
+
+TEST(Catalog, ScaleOverrideApplies) {
+  const auto cat = snap_catalog(10);
+  for (const auto& e : cat) EXPECT_EQ(e.kron.scale, 10u);
+}
+
+TEST(Catalog, LookupByNameAndUnknownThrows) {
+  const auto e = catalog_entry("Road");
+  EXPECT_EQ(e.input_type, "Road Networks");
+  EXPECT_THROW(catalog_entry("NotAGraph"), ContractViolation);
+}
+
+TEST(Catalog, RoadIsSparserAndFlatterThanSocial) {
+  const auto road = catalog_entry("Road", 10);
+  const auto fb = catalog_entry("Facebook", 10);
+  const Graph gr = kronecker_graph(road.kron, true);
+  const Graph gf = kronecker_graph(fb.kron, true);
+  EXPECT_LT(gr.num_edges(), gf.num_edges());
+  // The topology differs far more than the volume: road networks are
+  // near-regular while social networks have hubs.
+  auto max_degree = [](const Graph& g) {
+    std::uint32_t m = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      m = std::max(m, g.out_degree(v));
+    }
+    return m;
+  };
+  EXPECT_LT(max_degree(gr) * 2, max_degree(gf));
+}
+
+}  // namespace
+}  // namespace simprof::data

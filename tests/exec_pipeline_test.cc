@@ -1,0 +1,164 @@
+// Unit tests for pipeline-interleaved charging (exec/pipeline.h): deferred
+// work items, proportional round-robin flushing, frame prefixes, quota
+// streams and the PipelineScope RAII driver.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/cluster.h"
+#include "exec/pipeline.h"
+#include "test_util.h"
+
+namespace simprof::exec {
+namespace {
+
+/// Records every snapshot's stack for mixture assertions.
+class StackRecorder final : public ProfilingHook {
+ public:
+  void on_snapshot(std::span<const jvm::MethodId> stack) override {
+    stacks.emplace_back(stack.begin(), stack.end());
+  }
+  void on_unit_boundary(const hw::PmuCounters&) override {}
+  std::vector<std::vector<jvm::MethodId>> stacks;
+};
+
+TEST(QuotaStream, ServesAtMostQuotaAndResumes) {
+  hw::SequentialStream inner(0, 64 * 10);
+  QuotaStream first(inner, 4);
+  hw::MemRef r;
+  int served = 0;
+  while (first.next(r)) ++served;
+  EXPECT_EQ(served, 4);
+  // A second quota view continues where the inner stream left off.
+  QuotaStream second(inner, 100);
+  ASSERT_TRUE(second.next(r));
+  EXPECT_EQ(r.line, 4u);
+}
+
+TEST(PipelineBatcher, EmptyItemsAreDropped) {
+  PipelineBatcher b;
+  b.add(1, 0, nullptr);
+  EXPECT_TRUE(b.empty());
+  b.add(1, 10, nullptr);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(PipelineBatcher, FlushChargesAllInstructionsAndRefs) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  PipelineBatcher b;
+  b.add(1, 30'000, std::make_unique<hw::SequentialStream>(0, 64 * 50));
+  b.add(2, 70'000, nullptr);
+  b.flush(ctx, 5'000);
+  EXPECT_EQ(ctx.counters().instructions, 100'000u);
+  EXPECT_EQ(ctx.counters().line_touches, 50u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(PipelineBatcher, ProportionalInterleavingMixesFrames) {
+  // Two items with 3:1 instruction ratio; every sampling window must see
+  // both frames, with the larger item ~3× as often.
+  auto cfg = testing::tiny_cluster_config();
+  Cluster cluster(cfg);
+  StackRecorder recorder;
+  cluster.set_profiling_hook(&recorder);
+  auto& ctx = cluster.context(0);
+
+  PipelineBatcher b;
+  b.add(11, 600'000, nullptr);
+  b.add(22, 200'000, nullptr);
+  b.flush(ctx, 5'000);
+
+  std::map<jvm::MethodId, int> leaf_counts;
+  for (const auto& s : recorder.stacks) {
+    ASSERT_EQ(s.size(), 1u);
+    ++leaf_counts[s[0]];
+  }
+  ASSERT_EQ(recorder.stacks.size(), 80u);  // 800k instrs / 10k snapshots
+  EXPECT_GT(leaf_counts[11], 2 * leaf_counts[22]);
+  EXPECT_GT(leaf_counts[22], 10);  // the small item is seen throughout
+  // Mixture, not blocks: the small item appears in the last quarter too.
+  bool late_small = false;
+  for (std::size_t i = recorder.stacks.size() * 3 / 4;
+       i < recorder.stacks.size(); ++i) {
+    late_small |= recorder.stacks[i][0] == 22;
+  }
+  EXPECT_TRUE(late_small);
+}
+
+TEST(PipelineBatcher, FramePrefixesNestConsumersAboveProducers) {
+  Cluster cluster(testing::tiny_cluster_config());
+  StackRecorder recorder;
+  cluster.set_profiling_hook(&recorder);
+  auto& ctx = cluster.context(0);
+
+  PipelineBatcher b;
+  b.push_frame(100);  // consumer
+  b.add(200, 50'000, nullptr);  // producer item recorded under consumer
+  b.pop_frame();
+  b.add(100, 50'000, nullptr);  // consumer's own work
+  b.flush(ctx, 5'000);
+
+  bool saw_nested = false;
+  for (const auto& s : recorder.stacks) {
+    if (s.size() == 2) {
+      EXPECT_EQ(s[0], 100u);
+      EXPECT_EQ(s[1], 200u);
+      saw_nested = true;
+    }
+  }
+  EXPECT_TRUE(saw_nested);
+  // The live stack is balanced after the flush.
+  EXPECT_TRUE(ctx.stack().empty());
+}
+
+TEST(PipelineScope, AttachesAndFlushesOnFinish) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  EXPECT_EQ(ctx.batcher(), nullptr);
+  {
+    PipelineScope scope(ctx);
+    ASSERT_NE(ctx.batcher(), nullptr);
+    ctx.batcher()->add(5, 12'000, nullptr);
+    EXPECT_EQ(ctx.counters().instructions, 0u);  // deferred
+    scope.finish();
+    EXPECT_EQ(ctx.counters().instructions, 12'000u);
+    EXPECT_EQ(ctx.batcher(), nullptr);
+    scope.finish();  // idempotent
+    EXPECT_EQ(ctx.counters().instructions, 12'000u);
+  }
+}
+
+TEST(PipelineScope, DestructorFlushesAndRestoresPrevious) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  PipelineScope outer(ctx);
+  PipelineBatcher* outer_batcher = ctx.batcher();
+  {
+    PipelineScope inner(ctx);
+    EXPECT_NE(ctx.batcher(), outer_batcher);
+    ctx.batcher()->add(7, 8'000, nullptr);
+  }  // destructor flushes
+  EXPECT_EQ(ctx.counters().instructions, 8'000u);
+  EXPECT_EQ(ctx.batcher(), outer_batcher);
+}
+
+TEST(PipelineBatcher, RefOnlyItemDrainsTraffic) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  PipelineBatcher b;
+  b.add(3, 0, std::make_unique<hw::SequentialStream>(0, 64 * 20));
+  b.flush(ctx, 1'000);
+  EXPECT_EQ(ctx.counters().line_touches, 20u);
+}
+
+TEST(PipelineBatcher, FlushRejectsZeroSlice) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  PipelineBatcher b;
+  b.add(1, 10, nullptr);
+  EXPECT_THROW(b.flush(ctx, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace simprof::exec

@@ -1,0 +1,239 @@
+// Unit tests for the execution substrate: sampling-unit accounting, snapshot
+// hooks, wave scheduling, thread-per-task mode, migration events and the
+// profiled-core-only simulation rule.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/cluster.h"
+#include "exec/kernels.h"
+#include "jvm/call_stack.h"
+#include "support/assert.h"
+#include "test_util.h"
+
+namespace simprof::exec {
+namespace {
+
+/// Test hook recording every snapshot and unit boundary.
+class RecordingHook final : public ProfilingHook {
+ public:
+  void on_snapshot(std::span<const jvm::MethodId> stack) override {
+    snapshots.emplace_back(stack.begin(), stack.end());
+  }
+  void on_unit_boundary(const hw::PmuCounters& delta) override {
+    units.push_back(delta);
+  }
+  std::vector<std::vector<jvm::MethodId>> snapshots;
+  std::vector<hw::PmuCounters> units;
+};
+
+TEST(Cluster, ConfigValidation) {
+  auto cfg = testing::tiny_cluster_config();
+  cfg.snapshot_interval = 30'000;  // does not divide unit size
+  EXPECT_THROW(Cluster{cfg}, ContractViolation);
+  cfg = testing::tiny_cluster_config();
+  cfg.profiled_core = 99;
+  EXPECT_THROW(Cluster{cfg}, ContractViolation);
+}
+
+TEST(Cluster, SnapshotsFireEveryIntervalWithLiveStack) {
+  Cluster cluster(testing::tiny_cluster_config());
+  RecordingHook hook;
+  cluster.set_profiling_hook(&hook);
+  auto& ctx = cluster.context(0);
+  const auto m = cluster.methods().intern("test.Method.run",
+                                          jvm::OpKind::kMap);
+  {
+    jvm::MethodScope scope(ctx.stack(), m);
+    ctx.compute(35'000);  // 3 snapshot boundaries at 10k, 20k, 30k
+  }
+  ASSERT_EQ(hook.snapshots.size(), 3u);
+  for (const auto& s : hook.snapshots) {
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0], m);
+  }
+}
+
+TEST(Cluster, UnitBoundariesCarryCounterDeltas) {
+  Cluster cluster(testing::tiny_cluster_config());
+  RecordingHook hook;
+  cluster.set_profiling_hook(&hook);
+  auto& ctx = cluster.context(0);
+  ctx.compute(250'000);  // 2.5 units of 100k
+  ASSERT_EQ(hook.units.size(), 2u);
+  EXPECT_EQ(hook.units[0].instructions, 100'000u);
+  EXPECT_EQ(hook.units[1].instructions, 100'000u);
+  EXPECT_GT(hook.units[0].cycles, 0u);
+
+  cluster.finish();  // flush the half unit
+  ASSERT_EQ(hook.units.size(), 3u);
+  EXPECT_EQ(hook.units[2].instructions, 50'000u);
+}
+
+TEST(Cluster, FinishIgnoresTinyTail) {
+  Cluster cluster(testing::tiny_cluster_config());
+  RecordingHook hook;
+  cluster.set_profiling_hook(&hook);
+  cluster.context(0).compute(100'500);  // tail of 500 < snapshot interval
+  cluster.finish();
+  EXPECT_EQ(hook.units.size(), 1u);
+}
+
+TEST(Cluster, NonProfiledCoreSkipsCacheSimulation) {
+  Cluster cluster(testing::tiny_cluster_config());
+  RecordingHook hook;
+  cluster.set_profiling_hook(&hook);
+  auto& other = cluster.context(1);
+  hw::SequentialStream stream(0, 1 << 16);
+  other.execute(200'000, &stream);
+  EXPECT_TRUE(hook.units.empty());              // no unit boundaries fired
+  EXPECT_EQ(other.counters().line_touches, 0u); // traffic skipped
+  EXPECT_EQ(other.counters().instructions, 200'000u);  // clock advanced
+}
+
+TEST(Cluster, ProfiledCoreChargesTraffic) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  hw::SequentialStream stream(0, 64 * 100);
+  ctx.execute(50'000, &stream);
+  EXPECT_EQ(ctx.counters().line_touches, 100u);
+  // Cycles exceed pure base-CPI cost because of the memory traffic.
+  const double base = 50'000 *
+      cluster.memory().config().cost.base_cpi;
+  EXPECT_GT(ctx.counters().cycles, static_cast<std::uint64_t>(base));
+}
+
+TEST(Cluster, RunStageDealsTasksRoundRobinAcrossCores) {
+  Cluster cluster(testing::tiny_cluster_config());
+  std::vector<std::uint32_t> ran_on;
+  std::vector<Task> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back(Task{"t", [&](ExecutorContext& ctx) {
+                           ran_on.push_back(ctx.core());
+                         }});
+  }
+  cluster.run_stage("s", std::move(tasks));
+  EXPECT_EQ(ran_on, (std::vector<std::uint32_t>{0, 1, 0, 1, 0}));
+}
+
+TEST(Cluster, WavePressureDropsForStragglers) {
+  Cluster cluster(testing::tiny_cluster_config());
+  std::vector<std::uint32_t> eff_ways;
+  std::vector<Task> tasks;
+  for (int i = 0; i < 3; ++i) {  // 2 cores → waves of 2 then 1
+    tasks.push_back(Task{"t", [&](ExecutorContext& ctx) {
+                           (void)ctx;
+                           eff_ways.push_back(
+                               cluster.memory().llc().effective_ways());
+                         }});
+  }
+  cluster.run_stage("s", std::move(tasks));
+  ASSERT_EQ(eff_ways.size(), 3u);
+  EXPECT_LT(eff_ways[0], eff_ways[2]);  // full wave pressured, straggler not
+}
+
+TEST(Cluster, ThreadPerTaskAdvancesThreadIds) {
+  Cluster cluster(testing::tiny_cluster_config());
+  std::vector<std::uint64_t> ids;
+  std::vector<Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(Task{"t", [&](ExecutorContext& ctx) {
+                           ids.push_back(ctx.thread_id());
+                         }});
+  }
+  cluster.run_stage("hadoop", std::move(tasks), /*thread_per_task=*/true);
+  // Core 0 runs tasks 0 and 2 on fresh threads 1 and 2.
+  EXPECT_EQ(ids[0], 1u);
+  EXPECT_EQ(ids[2], 2u);
+}
+
+TEST(Cluster, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    Cluster cluster(testing::tiny_cluster_config(123));
+    auto& ctx = cluster.context(0);
+    hw::RandomStream s(0, 1 << 20, 5'000, ctx.rng());
+    ctx.execute(400'000, &s);
+    return ctx.counters().cycles;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Cluster, MigrationEventsOccurAtConfiguredRate) {
+  auto cfg = testing::tiny_cluster_config();
+  cfg.migration_prob_per_unit = 1.0;  // force a migration at every boundary
+  Cluster cluster(cfg);
+  auto& ctx = cluster.context(0);
+  ctx.compute(500'000);
+  EXPECT_EQ(ctx.counters().migrations, 5u);
+
+  auto cfg2 = testing::tiny_cluster_config();
+  cfg2.migration_prob_per_unit = 0.0;
+  Cluster c2(cfg2);
+  c2.context(0).compute(500'000);
+  EXPECT_EQ(c2.context(0).counters().migrations, 0u);
+}
+
+TEST(Cluster, ProfiledCoreIsConfigurable) {
+  auto cfg = testing::tiny_cluster_config();
+  cfg.profiled_core = 1;
+  Cluster cluster(cfg);
+  RecordingHook hook;
+  cluster.set_profiling_hook(&hook);
+  cluster.context(0).compute(150'000);  // not profiled anymore
+  EXPECT_TRUE(hook.units.empty());
+  cluster.context(1).compute(150'000);
+  EXPECT_EQ(hook.units.size(), 1u);
+  EXPECT_TRUE(cluster.context(1).is_profiled());
+  EXPECT_FALSE(cluster.context(0).is_profiled());
+}
+
+TEST(Kernels, ScanRegionChargesProportionally) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  scan_region(ctx, 0, 6400, 2.0);
+  EXPECT_EQ(ctx.counters().instructions, 12'800u);
+  EXPECT_EQ(ctx.counters().line_touches, 100u);
+}
+
+TEST(Kernels, QuicksortTouchesEachLevelOnce) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  // 4096 elements of 64B with cutoff 2048: one partition pass over the full
+  // region plus resident leaf passes, and at most one extra partition pass
+  // when the random split leaves a half above the cutoff → between 2× and
+  // ~2.7× the region in line touches.
+  quicksort_traffic(ctx, 0, 4096, 64, default_kernel_costs(), 2048);
+  EXPECT_GE(ctx.counters().line_touches, 8192u);
+  EXPECT_LE(ctx.counters().line_touches, 11'000u);
+}
+
+TEST(Kernels, HashAggregateEmitsTouches) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  hash_aggregate(ctx, 0, 1 << 16, 1000, 0.0, default_kernel_costs());
+  EXPECT_GT(ctx.counters().line_touches, 1000u);
+  EXPECT_GT(ctx.counters().instructions, 30'000u);
+}
+
+TEST(Kernels, WriteStreamCompressionCostsMore) {
+  Cluster a(testing::tiny_cluster_config());
+  Cluster b(testing::tiny_cluster_config());
+  write_stream(a.context(0), 0, 64'000, false, default_kernel_costs());
+  write_stream(b.context(0), 0, 64'000, true, default_kernel_costs());
+  EXPECT_GT(b.context(0).counters().instructions,
+            a.context(0).counters().instructions);
+}
+
+TEST(Kernels, ZeroWorkIsFree) {
+  Cluster cluster(testing::tiny_cluster_config());
+  auto& ctx = cluster.context(0);
+  scan_region(ctx, 0, 0, 1.0);
+  hash_aggregate(ctx, 0, 0, 0, 0.0, default_kernel_costs());
+  quicksort_traffic(ctx, 0, 0, 8, default_kernel_costs());
+  merge_runs(ctx, 0, 0, 0, 4, default_kernel_costs());
+  EXPECT_EQ(ctx.counters().instructions, 0u);
+  EXPECT_EQ(ctx.counters().line_touches, 0u);
+}
+
+}  // namespace
+}  // namespace simprof::exec

@@ -1,0 +1,132 @@
+// Unit tests for the access-pattern streams and the address-space allocator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hw/access_stream.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace simprof::hw {
+namespace {
+
+TEST(SequentialStream, EmitsOneRefPerLine) {
+  SequentialStream s(/*base=*/128, /*bytes=*/256);
+  MemRef r;
+  std::vector<LineAddr> lines;
+  while (s.next(r)) {
+    lines.push_back(r.line);
+    EXPECT_TRUE(r.prefetchable);
+    EXPECT_FALSE(r.write);
+  }
+  EXPECT_EQ(lines, (std::vector<LineAddr>{2, 3, 4, 5}));
+  EXPECT_EQ(s.total_refs(), 4u);
+}
+
+TEST(SequentialStream, PartialLineRoundsUp) {
+  SequentialStream s(0, 65);
+  EXPECT_EQ(s.total_refs(), 2u);
+}
+
+TEST(SequentialStream, WriteFlagPropagates) {
+  SequentialStream s(0, 64, /*write=*/true);
+  MemRef r;
+  ASSERT_TRUE(s.next(r));
+  EXPECT_TRUE(r.write);
+}
+
+TEST(RandomStream, StaysInRegionAndCounts) {
+  Rng rng(5);
+  RandomStream s(/*base=*/6400, /*bytes=*/64 * 100, /*touches=*/500, rng);
+  MemRef r;
+  std::size_t n = 0;
+  while (s.next(r)) {
+    ++n;
+    EXPECT_GE(r.line, 100u);
+    EXPECT_LT(r.line, 200u);
+    EXPECT_FALSE(r.prefetchable);
+  }
+  EXPECT_EQ(n, 500u);
+}
+
+TEST(RandomStream, WriteFractionMixesReadsAndWrites) {
+  Rng rng(9);
+  RandomStream s(0, 64 * 16, 400, rng, false, /*write_fraction=*/0.5);
+  MemRef r;
+  int writes = 0;
+  while (s.next(r)) writes += r.write ? 1 : 0;
+  EXPECT_GT(writes, 120);
+  EXPECT_LT(writes, 280);
+}
+
+TEST(RandomStream, CoversTheRegion) {
+  Rng rng(11);
+  RandomStream s(0, 64 * 32, 2000, rng);
+  MemRef r;
+  std::set<LineAddr> seen;
+  while (s.next(r)) seen.insert(r.line);
+  EXPECT_GT(seen.size(), 28u);  // nearly all 32 lines touched
+}
+
+TEST(ZipfStream, HeadIsHotterThanTail) {
+  Rng rng(13);
+  ZipfStream s(0, 64 * 1000, 20000, /*skew=*/0.8, rng);
+  MemRef r;
+  std::size_t head = 0, tail = 0;
+  while (s.next(r)) {
+    if (r.line < 100) ++head;        // first 10% of the region
+    if (r.line >= 900) ++tail;       // last 10%
+  }
+  EXPECT_GT(head, 3 * tail);
+}
+
+TEST(ZipfStream, ZeroSkewIsRoughlyUniform) {
+  Rng rng(17);
+  ZipfStream s(0, 64 * 100, 20000, 0.0, rng);
+  MemRef r;
+  std::size_t head = 0;
+  while (s.next(r)) head += (r.line < 50) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(head) / 20000.0, 0.5, 0.03);
+}
+
+TEST(ZipfStream, RejectsSkewOutsideRange) {
+  Rng rng(1);
+  EXPECT_THROW(ZipfStream(0, 64, 1, 1.0, rng), ContractViolation);
+  EXPECT_THROW(ZipfStream(0, 64, 1, -0.1, rng), ContractViolation);
+}
+
+TEST(StridedStream, HitsEveryNthLine) {
+  StridedStream s(0, 64 * 10, /*stride_lines=*/3);
+  MemRef r;
+  std::vector<LineAddr> lines;
+  while (s.next(r)) lines.push_back(r.line);
+  EXPECT_EQ(lines, (std::vector<LineAddr>{0, 3, 6, 9}));
+}
+
+TEST(StridedStream, ZeroStrideTreatedAsOne) {
+  StridedStream s(0, 64 * 3, 0);
+  EXPECT_EQ(s.total_refs(), 3u);
+}
+
+TEST(AddressSpace, AllocationsDoNotOverlap) {
+  AddressSpace space;
+  const auto a = space.allocate(100);
+  const auto b = space.allocate(1);
+  const auto c = space.allocate(4096);
+  EXPECT_LT(a, b);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(c, b + 1);
+  // Line-aligned regions never share a cache line.
+  EXPECT_NE(a / kLineBytes, b / kLineBytes);
+  EXPECT_NE(b / kLineBytes, c / kLineBytes);
+}
+
+TEST(AddressSpace, ZeroByteAllocationStillDistinct) {
+  AddressSpace space;
+  const auto a = space.allocate(0);
+  const auto b = space.allocate(0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace simprof::hw

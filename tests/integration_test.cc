@@ -1,0 +1,164 @@
+// End-to-end integration tests: the full SimProf pipeline (run → profile →
+// phases → sampling → sensitivity) on real workload configurations at small
+// scale, plus the WorkloadLab disk cache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/lab.h"
+#include "core/phase.h"
+#include "core/sampling.h"
+#include "core/sensitivity.h"
+#include "workloads/workloads.h"
+
+namespace simprof::core {
+namespace {
+
+LabConfig small_lab(const char* dir) {
+  LabConfig cfg;
+  cfg.scale = 0.05;
+  cfg.graph_scale_override = 12;
+  cfg.cache_dir = dir;
+  return cfg;
+}
+
+class ScratchDir {
+ public:
+  ScratchDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("simprof_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  const char* c_str() const { return path_.c_str(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+TEST(Integration, WordCountSparkFullPipeline) {
+  ScratchDir dir;
+  WorkloadLab lab(small_lab(dir.c_str()));
+  const auto run = lab.run("wc_sp");
+  ASSERT_GT(run.profile.num_units(), 30u);
+
+  const PhaseModel model = form_phases(run.profile);
+  EXPECT_GE(model.k, 1u);
+  EXPECT_LE(model.k, 20u);
+
+  // Phase formation separates performance: weighted CoV < population CoV.
+  const auto cov = cov_summary(run.profile, model);
+  EXPECT_LT(cov.weighted, cov.population);
+
+  // SimProf at n = 20 lands within 15% of the oracle at this tiny scale.
+  const auto plan = simprof_sample(run.profile, model, 20, 7);
+  EXPECT_LT(relative_error(plan, run.profile), 0.15);
+  // The CI (99.7%) is consistent with the realized error most of the time;
+  // at minimum it must be a sane, positive-width interval.
+  EXPECT_GT(plan.ci.margin, 0.0);
+  EXPECT_GT(plan.estimated_cpi, 0.0);
+}
+
+TEST(Integration, HadoopWordCountHasSortAndIoPhases) {
+  ScratchDir dir;
+  WorkloadLab lab(small_lab(dir.c_str()));
+  const auto run = lab.run("wc_hp");
+  const PhaseModel model = form_phases(run.profile);
+  // The Figure 15 structure: more than one phase, and at least one of the
+  // paper's four types beyond pure map must appear.
+  EXPECT_GE(model.k, 2u);
+  bool has_non_map = false;
+  for (auto t : model.phase_types) {
+    has_non_map |= (t != jvm::OpKind::kMap);
+  }
+  EXPECT_TRUE(has_non_map);
+}
+
+TEST(Integration, LabCacheRoundTripsProfile) {
+  ScratchDir dir;
+  LabConfig cfg = small_lab(dir.c_str());
+  WorkloadLab lab(cfg);
+  const auto first = lab.run("grep_sp");
+  EXPECT_FALSE(first.from_cache);
+  const auto second = lab.run("grep_sp");
+  EXPECT_TRUE(second.from_cache);
+  ASSERT_EQ(second.profile.num_units(), first.profile.num_units());
+  for (std::size_t i = 0; i < first.profile.num_units(); ++i) {
+    EXPECT_EQ(second.profile.units[i].counters.cycles,
+              first.profile.units[i].counters.cycles);
+  }
+  EXPECT_EQ(second.profile.method_names, first.profile.method_names);
+}
+
+TEST(Integration, CacheKeyedByParameters) {
+  ScratchDir dir;
+  LabConfig a = small_lab(dir.c_str());
+  WorkloadLab lab_a(a);
+  lab_a.run("grep_sp");
+  LabConfig b = a;
+  b.seed = 77;
+  WorkloadLab lab_b(b);
+  EXPECT_FALSE(lab_b.run("grep_sp").from_cache);  // different seed, new run
+}
+
+TEST(Integration, InputSensitivityAcrossGraphInputs) {
+  // Train on Google, test Road (radically different topology): phases exist
+  // on both and the machinery classifies reference units without falling
+  // over; the shape claim (some phases sensitive, Road more often so) is
+  // exercised in the fig12/fig13 benches at full scale.
+  ScratchDir dir;
+  LabConfig cfg = small_lab(dir.c_str());
+  WorkloadLab lab(cfg);
+  const auto train = lab.run("cc_sp", "Google");
+  const auto ref = lab.run("cc_sp", "Road");
+  const PhaseModel model = form_phases(train.profile);
+
+  const auto labels = classify_units(model, ref.profile);
+  ASSERT_EQ(labels.size(), ref.profile.num_units());
+  for (auto l : labels) EXPECT_LT(l, model.k);
+
+  const auto report =
+      input_sensitivity_test(model, {&ref.profile}, {"Road"});
+  EXPECT_EQ(report.phase_sensitive.size(), model.k);
+  const auto plan = simprof_sample(train.profile, model, 20, 3);
+  const double frac = report.sensitive_point_fraction(plan);
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(Integration, BaselinesRankAsPaperExpectsOnHadoopSort) {
+  // sort_hp: strongly staged workload. SECOND (window in the map stage)
+  // must miss the late stages; SimProf must beat it clearly.
+  ScratchDir dir;
+  LabConfig cfg = small_lab(dir.c_str());
+  cfg.scale = 0.15;  // enough units for a meaningful window
+  WorkloadLab lab(cfg);
+  const auto run = lab.run("sort_hp");
+  const PhaseModel model = form_phases(run.profile);
+
+  double simprof_err = 0.0;
+  constexpr int kDraws = 5;
+  for (int s = 0; s < kDraws; ++s) {
+    simprof_err += relative_error(
+        simprof_sample(run.profile, model, 20, s), run.profile);
+  }
+  simprof_err /= kDraws;
+  const double second_err = relative_error(
+      second_sample(run.profile, 0.005, 2.0), run.profile);
+  EXPECT_LT(simprof_err, second_err);
+}
+
+TEST(Integration, ProfilesAreReproducibleAcrossLabs) {
+  ScratchDir d1, d2;
+  WorkloadLab lab1(small_lab(d1.c_str()));
+  WorkloadLab lab2(small_lab(d2.c_str()));
+  const auto a = lab1.run("bayes_hp");
+  const auto b = lab2.run("bayes_hp");
+  ASSERT_EQ(a.profile.num_units(), b.profile.num_units());
+  EXPECT_EQ(a.profile.total_cycles(), b.profile.total_cycles());
+}
+
+}  // namespace
+}  // namespace simprof::core

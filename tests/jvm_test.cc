@@ -1,0 +1,105 @@
+// Unit tests for the JVM substrate: method registry, call stacks, RAII
+// frames and OpKind naming.
+#include <gtest/gtest.h>
+
+#include "jvm/call_stack.h"
+#include "jvm/method.h"
+#include "support/assert.h"
+
+namespace simprof::jvm {
+namespace {
+
+TEST(MethodRegistry, InternIsIdempotent) {
+  MethodRegistry reg;
+  const auto a = reg.intern("a.B.c", OpKind::kMap);
+  EXPECT_EQ(reg.intern("a.B.c", OpKind::kMap), a);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.name(a), "a.B.c");
+  EXPECT_EQ(reg.kind(a), OpKind::kMap);
+}
+
+TEST(MethodRegistry, ConflictingKindThrows) {
+  MethodRegistry reg;
+  reg.intern("x.Y.z", OpKind::kSort);
+  EXPECT_THROW(reg.intern("x.Y.z", OpKind::kIo), ContractViolation);
+}
+
+TEST(MethodRegistry, DenseIds) {
+  MethodRegistry reg;
+  EXPECT_EQ(reg.intern("m0", OpKind::kMap), 0u);
+  EXPECT_EQ(reg.intern("m1", OpKind::kReduce), 1u);
+  EXPECT_EQ(reg.intern("m2", OpKind::kIo), 2u);
+}
+
+TEST(MethodRegistry, UnknownIdThrows) {
+  MethodRegistry reg;
+  EXPECT_THROW(reg.kind(0), ContractViolation);
+}
+
+TEST(OpKind, NamesAreStable) {
+  EXPECT_EQ(to_string(OpKind::kMap), "map");
+  EXPECT_EQ(to_string(OpKind::kReduce), "reduce");
+  EXPECT_EQ(to_string(OpKind::kSort), "sort");
+  EXPECT_EQ(to_string(OpKind::kIo), "io");
+  EXPECT_EQ(to_string(OpKind::kFramework), "framework");
+  EXPECT_EQ(to_string(OpKind::kShuffle), "shuffle");
+  EXPECT_EQ(to_string(OpKind::kCompute), "compute");
+}
+
+TEST(CallStack, PushPopTop) {
+  CallStack s;
+  EXPECT_TRUE(s.empty());
+  s.push(3);
+  s.push(7);
+  EXPECT_EQ(s.depth(), 2u);
+  EXPECT_EQ(s.top(), 7u);
+  s.pop();
+  EXPECT_EQ(s.top(), 3u);
+}
+
+TEST(CallStack, FramesAreOutermostFirst) {
+  CallStack s;
+  s.push(1);
+  s.push(2);
+  s.push(3);
+  const auto f = s.frames();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], 1u);
+  EXPECT_EQ(f[2], 3u);
+}
+
+TEST(CallStack, UnderflowThrows) {
+  CallStack s;
+  EXPECT_THROW(s.pop(), ContractViolation);
+  EXPECT_THROW(s.top(), ContractViolation);
+}
+
+TEST(MethodScope, RaiiBalancesStack) {
+  CallStack s;
+  {
+    MethodScope outer(s, 10);
+    EXPECT_EQ(s.depth(), 1u);
+    {
+      MethodScope inner(s, 20);
+      EXPECT_EQ(s.depth(), 2u);
+      EXPECT_EQ(s.top(), 20u);
+    }
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_EQ(s.top(), 10u);
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(MethodScope, UnwindsOnException) {
+  CallStack s;
+  try {
+    MethodScope outer(s, 1);
+    MethodScope inner(s, 2);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace simprof::jvm

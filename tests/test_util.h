@@ -1,0 +1,81 @@
+// Shared helpers for the SimProf test suite: synthetic ThreadProfiles with
+// controlled phase structure, and tiny cluster configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+#include "exec/cluster.h"
+#include "support/rng.h"
+
+namespace simprof::testing {
+
+/// Description of one synthetic phase: `count` units whose CPI is drawn from
+/// N(mean_cpi, stddev_cpi) and whose stacks are dominated by method
+/// `dominant_method` (with a constant background of method 0).
+struct SyntheticPhase {
+  std::size_t count = 0;
+  double mean_cpi = 1.0;
+  double stddev_cpi = 0.0;
+  jvm::MethodId dominant_method = 1;
+};
+
+/// Build a profile with interleaved units from the given phases. Method 0 is
+/// a framework-ish method present in every unit; methods are named "m<i>".
+inline core::ThreadProfile synthetic_profile(
+    const std::vector<SyntheticPhase>& phases, std::uint64_t seed = 7,
+    std::uint64_t unit_instrs = 1'000'000) {
+  core::ThreadProfile p;
+  jvm::MethodId max_method = 0;
+  for (const auto& ph : phases) {
+    max_method = std::max(max_method, ph.dominant_method);
+  }
+  for (jvm::MethodId m = 0; m <= max_method; ++m) {
+    p.method_names.push_back("m" + std::to_string(m));
+    p.method_kinds.push_back(m == 0 ? jvm::OpKind::kFramework
+                                    : jvm::OpKind::kMap);
+  }
+
+  Rng rng(seed);
+  // Interleave phases round-robin so phase membership is non-contiguous,
+  // like real SimProf phases.
+  std::vector<std::size_t> remaining(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    remaining[i] = phases[i].count;
+  }
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      if (remaining[i] == 0) continue;
+      --remaining[i];
+      any = true;
+      core::UnitRecord u;
+      u.unit_id = p.units.size();
+      double cpi = phases[i].mean_cpi +
+                   phases[i].stddev_cpi * rng.next_gaussian();
+      if (cpi < 0.05) cpi = 0.05;
+      u.counters.instructions = unit_instrs;
+      u.counters.cycles =
+          static_cast<std::uint64_t>(cpi * static_cast<double>(unit_instrs));
+      u.methods = {jvm::MethodId{0}, phases[i].dominant_method};
+      u.counts = {10, 30};
+      p.units.push_back(std::move(u));
+    }
+  }
+  return p;
+}
+
+/// A small, fast cluster configuration for engine tests.
+inline exec::ClusterConfig tiny_cluster_config(std::uint64_t seed = 42) {
+  exec::ClusterConfig cfg;
+  cfg.memory.num_cores = 2;
+  cfg.unit_instrs = 100'000;
+  cfg.snapshot_interval = 10'000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace simprof::testing

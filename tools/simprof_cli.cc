@@ -1,0 +1,271 @@
+// simprof — command-line driver for the framework.
+//
+//   simprof list
+//   simprof profile <workload> [--input NAME] [--scale S] [--seed N]
+//                   [--out FILE]
+//   simprof phases  <profile.sprf>
+//   simprof sample  <profile.sprf> [-n N] [--technique simprof|srs|second|
+//                   code|systematic|simprof-sys] [--seed N]
+//   simprof size    <profile.sprf> [--error 0.05] [--confidence 99.7]
+//   simprof sensitivity <workload> [--train NAME] [--scale S]
+//
+// `profile` runs a Table I workload on the simulated cluster and writes the
+// thread profile; the analysis subcommands operate on saved profiles, so a
+// profile collected once can be explored offline — the same split as the
+// real tool's agent/analyzer.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/lab.h"
+#include "core/phase.h"
+#include "core/sampling.h"
+#include "core/sensitivity.h"
+#include "data/catalog.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace simprof;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  std::string opt(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0 || (a.size() == 2 && a[0] == '-')) {
+      const std::string key = a.rfind("--", 0) == 0 ? a.substr(2) : a.substr(1);
+      if (i + 1 < argc) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+core::ThreadProfile load_profile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open profile: " + path);
+  }
+  return core::ThreadProfile::load(in);
+}
+
+int cmd_list() {
+  Table t({"name", "benchmark", "framework", "graph"});
+  for (const auto& w : workloads::all_workloads()) {
+    t.row({w.name, w.benchmark, std::string(workloads::to_string(w.framework)),
+           w.graph_workload ? "yes" : "no"});
+  }
+  t.print_aligned(std::cout);
+  std::cout << "\nTable II graph inputs:";
+  for (const auto& e : data::snap_catalog()) {
+    std::cout << ' ' << e.name << (e.training ? "(train)" : "");
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: simprof profile <workload> [--input NAME] "
+                 "[--scale S] [--seed N] [--out FILE]\n";
+    return 2;
+  }
+  const std::string workload = args.positional[0];
+  core::LabConfig cfg;
+  cfg.scale = std::stod(args.opt("scale", "1.0"));
+  cfg.seed = std::stoull(args.opt("seed", "42"));
+  cfg.use_cache = false;
+  core::WorkloadLab lab(cfg);
+  const std::string input = args.opt("input", "Google");
+  std::cout << "running " << workload << " (input " << input << ", scale "
+            << cfg.scale << ") ...\n";
+  auto run = lab.run(workload, input);
+  const std::string out =
+      args.opt("out", workload + "-" + input + ".sprf");
+  std::ofstream os(out, std::ios::binary | std::ios::trunc);
+  run.profile.save(os);
+  std::cout << "wrote " << run.profile.num_units() << " sampling units ("
+            << run.profile.num_methods() << " methods) to " << out
+            << "\noracle CPI " << Table::num(run.profile.oracle_cpi(), 4)
+            << ", records out " << run.result.records_out << '\n';
+  return 0;
+}
+
+int cmd_phases(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: simprof phases <profile.sprf>\n";
+    return 2;
+  }
+  const auto profile = load_profile(args.positional[0]);
+  const auto model = core::form_phases(profile);
+  const auto cov = core::cov_summary(profile, model);
+  std::cout << profile.num_units() << " units, " << model.k
+            << " phases; CoV population " << Table::num(cov.population)
+            << ", weighted " << Table::num(cov.weighted) << ", max "
+            << Table::num(cov.maximum) << "\n\n";
+  Table t({"phase", "units", "weight", "mean_cpi", "cov", "type",
+           "dominant_method"});
+  for (std::size_t h = 0; h < model.k; ++h) {
+    std::size_t best = 0;
+    double bw = -1.0;
+    for (std::size_t f = 0; f < model.feature_names.size(); ++f) {
+      if (model.feature_kinds[f] == jvm::OpKind::kFramework) continue;
+      if (model.centers.at(h, f) > bw) {
+        bw = model.centers.at(h, f);
+        best = f;
+      }
+    }
+    t.row({std::to_string(h), std::to_string(model.phases[h].count),
+           Table::pct(model.phases[h].weight),
+           Table::num(model.phases[h].mean_cpi),
+           Table::num(model.phases[h].cov),
+           std::string(jvm::to_string(model.phase_types[h])),
+           model.feature_names.empty() ? "-" : model.feature_names[best]});
+  }
+  t.print_aligned(std::cout);
+  return 0;
+}
+
+int cmd_sample(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: simprof sample <profile.sprf> [-n N] "
+                 "[--technique T] [--seed N]\n";
+    return 2;
+  }
+  const auto profile = load_profile(args.positional[0]);
+  const auto n = static_cast<std::size_t>(std::stoul(args.opt("n", "20")));
+  const auto seed = std::stoull(args.opt("seed", "1"));
+  const std::string tech = args.opt("technique", "simprof");
+
+  core::SamplePlan plan;
+  if (tech == "srs") {
+    plan = core::srs_sample(profile, n, seed);
+  } else if (tech == "second") {
+    plan = core::second_sample(profile, 0.1, 2.0);
+  } else if (tech == "systematic") {
+    plan = core::systematic_sample(profile, n, seed);
+  } else if (tech == "code" || tech == "simprof" || tech == "simprof-sys") {
+    const auto model = core::form_phases(profile);
+    plan = tech == "code"
+               ? core::code_sample(profile, model)
+               : (tech == "simprof"
+                      ? core::simprof_sample(profile, model, n, seed)
+                      : core::simprof_systematic_sample(profile, model, n,
+                                                        seed));
+  } else {
+    std::cerr << "unknown technique: " << tech << '\n';
+    return 2;
+  }
+
+  std::cout << to_string(plan.technique) << " selected "
+            << plan.sample_size() << " simulation points\n";
+  std::cout << "estimate " << Table::num(plan.estimated_cpi, 4) << " vs oracle "
+            << Table::num(profile.oracle_cpi(), 4) << " (error "
+            << Table::pct(core::relative_error(plan, profile), 2) << ")";
+  if (plan.standard_error > 0.0) {
+    std::cout << ", 99.7% CI ±" << Table::num(plan.ci.margin, 4);
+  }
+  std::cout << "\nunit_id,phase,weight\n";
+  for (const auto& pt : plan.points) {
+    std::cout << profile.units[pt.unit_index].unit_id << ',' << pt.phase << ','
+              << Table::num(pt.weight, 5) << '\n';
+  }
+  return 0;
+}
+
+int cmd_size(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: simprof size <profile.sprf> [--error 0.05]\n";
+    return 2;
+  }
+  const auto profile = load_profile(args.positional[0]);
+  const auto model = core::form_phases(profile);
+  const double err = std::stod(args.opt("error", "0.05"));
+  const auto n = core::required_sample_size(model, err);
+  std::cout << "units for " << Table::pct(err, 0)
+            << " error at 99.7% confidence: " << n << " of "
+            << profile.num_units() << " ("
+            << Table::pct(static_cast<double>(n) /
+                          static_cast<double>(profile.num_units()))
+            << " of the run)\n";
+  return 0;
+}
+
+int cmd_sensitivity(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: simprof sensitivity <workload> [--train NAME] "
+                 "[--scale S]\n";
+    return 2;
+  }
+  const std::string workload = args.positional[0];
+  core::LabConfig cfg;
+  cfg.scale = std::stod(args.opt("scale", "1.0"));
+  core::WorkloadLab lab(cfg);
+  const std::string train_name = args.opt("train", "Google");
+  const auto train = lab.run(workload, train_name);
+  const auto model = core::form_phases(train.profile);
+
+  std::vector<core::ThreadProfile> refs;
+  std::vector<std::string> names;
+  for (const auto& e : data::snap_catalog()) {
+    if (e.name == train_name) continue;
+    std::cout << "profiling reference " << e.name << "...\n";
+    refs.push_back(lab.run(workload, e.name).profile);
+    names.push_back(e.name);
+  }
+  std::vector<const core::ThreadProfile*> ptrs;
+  for (const auto& r : refs) ptrs.push_back(&r);
+  const auto report = core::input_sensitivity_test(model, ptrs, names);
+  std::cout << report.num_sensitive() << "/" << model.k
+            << " phases input-sensitive; simulation points needed per "
+               "reference input: "
+            << Table::pct(report.sensitive_point_fraction(
+                   core::simprof_sample(train.profile, model, 20, 1)))
+            << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "simprof — sampling framework for data-analytic workloads\n"
+                 "subcommands: list, profile, phases, sample, size, "
+                 "sensitivity\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "phases") return cmd_phases(args);
+    if (cmd == "sample") return cmd_sample(args);
+    if (cmd == "size") return cmd_size(args);
+    if (cmd == "sensitivity") return cmd_sensitivity(args);
+    std::cerr << "unknown subcommand: " << cmd << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
