@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ci_coverage.dir/ablation_ci_coverage.cc.o"
+  "CMakeFiles/ablation_ci_coverage.dir/ablation_ci_coverage.cc.o.d"
+  "ablation_ci_coverage"
+  "ablation_ci_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ci_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unit_size.dir/ablation_unit_size.cc.o"
+  "CMakeFiles/ablation_unit_size.dir/ablation_unit_size.cc.o.d"
+  "ablation_unit_size"
+  "ablation_unit_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unit_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

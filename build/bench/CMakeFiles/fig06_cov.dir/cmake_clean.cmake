@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cov.dir/fig06_cov.cc.o"
+  "CMakeFiles/fig06_cov.dir/fig06_cov.cc.o.d"
+  "fig06_cov"
+  "fig06_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_sampling_error.dir/fig07_sampling_error.cc.o"
+  "CMakeFiles/fig07_sampling_error.dir/fig07_sampling_error.cc.o.d"
+  "fig07_sampling_error"
+  "fig07_sampling_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sampling_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_phase_count.dir/fig09_phase_count.cc.o"
+  "CMakeFiles/fig09_phase_count.dir/fig09_phase_count.cc.o.d"
+  "fig09_phase_count"
+  "fig09_phase_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_phase_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_phase_types.dir/fig10_phase_types.cc.o"
+  "CMakeFiles/fig10_phase_types.dir/fig10_phase_types.cc.o.d"
+  "fig10_phase_types"
+  "fig10_phase_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_phase_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

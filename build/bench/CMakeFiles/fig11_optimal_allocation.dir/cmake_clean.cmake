@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_optimal_allocation.dir/fig11_optimal_allocation.cc.o"
+  "CMakeFiles/fig11_optimal_allocation.dir/fig11_optimal_allocation.cc.o.d"
+  "fig11_optimal_allocation"
+  "fig11_optimal_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_optimal_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

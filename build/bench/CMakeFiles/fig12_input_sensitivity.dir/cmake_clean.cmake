@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_input_sensitivity.dir/fig12_input_sensitivity.cc.o"
+  "CMakeFiles/fig12_input_sensitivity.dir/fig12_input_sensitivity.cc.o.d"
+  "fig12_input_sensitivity"
+  "fig12_input_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_input_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_sensitive_phases.cc" "bench/CMakeFiles/fig13_sensitive_phases.dir/fig13_sensitive_phases.cc.o" "gcc" "bench/CMakeFiles/fig13_sensitive_phases.dir/fig13_sensitive_phases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/simprof_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/simprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/minispark/CMakeFiles/simprof_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/minihadoop/CMakeFiles/simprof_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/simprof_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/simprof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/simprof_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/simprof_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_wordcount_spark.dir/fig14_wordcount_spark.cc.o"
+  "CMakeFiles/fig14_wordcount_spark.dir/fig14_wordcount_spark.cc.o.d"
+  "fig14_wordcount_spark"
+  "fig14_wordcount_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_wordcount_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

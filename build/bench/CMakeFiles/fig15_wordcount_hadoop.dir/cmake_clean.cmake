@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_wordcount_hadoop.dir/fig15_wordcount_hadoop.cc.o"
+  "CMakeFiles/fig15_wordcount_hadoop.dir/fig15_wordcount_hadoop.cc.o.d"
+  "fig15_wordcount_hadoop"
+  "fig15_wordcount_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_wordcount_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_comparison.dir/framework_comparison.cpp.o"
+  "CMakeFiles/framework_comparison.dir/framework_comparison.cpp.o.d"
+  "framework_comparison"
+  "framework_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

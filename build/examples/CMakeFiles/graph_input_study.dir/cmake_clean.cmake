@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_input_study.dir/graph_input_study.cpp.o"
+  "CMakeFiles/graph_input_study.dir/graph_input_study.cpp.o.d"
+  "graph_input_study"
+  "graph_input_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_input_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_core.dir/lab.cc.o"
+  "CMakeFiles/simprof_core.dir/lab.cc.o.d"
+  "CMakeFiles/simprof_core.dir/phase.cc.o"
+  "CMakeFiles/simprof_core.dir/phase.cc.o.d"
+  "CMakeFiles/simprof_core.dir/profile.cc.o"
+  "CMakeFiles/simprof_core.dir/profile.cc.o.d"
+  "CMakeFiles/simprof_core.dir/sampling.cc.o"
+  "CMakeFiles/simprof_core.dir/sampling.cc.o.d"
+  "CMakeFiles/simprof_core.dir/sensitivity.cc.o"
+  "CMakeFiles/simprof_core.dir/sensitivity.cc.o.d"
+  "libsimprof_core.a"
+  "libsimprof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

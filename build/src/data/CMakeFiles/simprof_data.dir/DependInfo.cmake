@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/catalog.cc" "src/data/CMakeFiles/simprof_data.dir/catalog.cc.o" "gcc" "src/data/CMakeFiles/simprof_data.dir/catalog.cc.o.d"
+  "/root/repo/src/data/graph.cc" "src/data/CMakeFiles/simprof_data.dir/graph.cc.o" "gcc" "src/data/CMakeFiles/simprof_data.dir/graph.cc.o.d"
+  "/root/repo/src/data/kronecker.cc" "src/data/CMakeFiles/simprof_data.dir/kronecker.cc.o" "gcc" "src/data/CMakeFiles/simprof_data.dir/kronecker.cc.o.d"
+  "/root/repo/src/data/text.cc" "src/data/CMakeFiles/simprof_data.dir/text.cc.o" "gcc" "src/data/CMakeFiles/simprof_data.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/simprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

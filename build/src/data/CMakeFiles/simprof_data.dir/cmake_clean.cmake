@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_data.dir/catalog.cc.o"
+  "CMakeFiles/simprof_data.dir/catalog.cc.o.d"
+  "CMakeFiles/simprof_data.dir/graph.cc.o"
+  "CMakeFiles/simprof_data.dir/graph.cc.o.d"
+  "CMakeFiles/simprof_data.dir/kronecker.cc.o"
+  "CMakeFiles/simprof_data.dir/kronecker.cc.o.d"
+  "CMakeFiles/simprof_data.dir/text.cc.o"
+  "CMakeFiles/simprof_data.dir/text.cc.o.d"
+  "libsimprof_data.a"
+  "libsimprof_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

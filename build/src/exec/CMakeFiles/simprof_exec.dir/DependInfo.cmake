@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/cluster.cc" "src/exec/CMakeFiles/simprof_exec.dir/cluster.cc.o" "gcc" "src/exec/CMakeFiles/simprof_exec.dir/cluster.cc.o.d"
+  "/root/repo/src/exec/executor_context.cc" "src/exec/CMakeFiles/simprof_exec.dir/executor_context.cc.o" "gcc" "src/exec/CMakeFiles/simprof_exec.dir/executor_context.cc.o.d"
+  "/root/repo/src/exec/kernels.cc" "src/exec/CMakeFiles/simprof_exec.dir/kernels.cc.o" "gcc" "src/exec/CMakeFiles/simprof_exec.dir/kernels.cc.o.d"
+  "/root/repo/src/exec/pipeline.cc" "src/exec/CMakeFiles/simprof_exec.dir/pipeline.cc.o" "gcc" "src/exec/CMakeFiles/simprof_exec.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/simprof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/simprof_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

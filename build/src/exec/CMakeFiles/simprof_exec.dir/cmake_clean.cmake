@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_exec.dir/cluster.cc.o"
+  "CMakeFiles/simprof_exec.dir/cluster.cc.o.d"
+  "CMakeFiles/simprof_exec.dir/executor_context.cc.o"
+  "CMakeFiles/simprof_exec.dir/executor_context.cc.o.d"
+  "CMakeFiles/simprof_exec.dir/kernels.cc.o"
+  "CMakeFiles/simprof_exec.dir/kernels.cc.o.d"
+  "CMakeFiles/simprof_exec.dir/pipeline.cc.o"
+  "CMakeFiles/simprof_exec.dir/pipeline.cc.o.d"
+  "libsimprof_exec.a"
+  "libsimprof_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/access_stream.cc" "src/hw/CMakeFiles/simprof_hw.dir/access_stream.cc.o" "gcc" "src/hw/CMakeFiles/simprof_hw.dir/access_stream.cc.o.d"
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/simprof_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/simprof_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/memory_system.cc" "src/hw/CMakeFiles/simprof_hw.dir/memory_system.cc.o" "gcc" "src/hw/CMakeFiles/simprof_hw.dir/memory_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/simprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

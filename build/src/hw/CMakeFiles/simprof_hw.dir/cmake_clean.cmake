@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_hw.dir/access_stream.cc.o"
+  "CMakeFiles/simprof_hw.dir/access_stream.cc.o.d"
+  "CMakeFiles/simprof_hw.dir/cache.cc.o"
+  "CMakeFiles/simprof_hw.dir/cache.cc.o.d"
+  "CMakeFiles/simprof_hw.dir/memory_system.cc.o"
+  "CMakeFiles/simprof_hw.dir/memory_system.cc.o.d"
+  "libsimprof_hw.a"
+  "libsimprof_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

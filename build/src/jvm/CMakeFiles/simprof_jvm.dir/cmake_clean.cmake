@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_jvm.dir/call_stack.cc.o"
+  "CMakeFiles/simprof_jvm.dir/call_stack.cc.o.d"
+  "CMakeFiles/simprof_jvm.dir/method.cc.o"
+  "CMakeFiles/simprof_jvm.dir/method.cc.o.d"
+  "libsimprof_jvm.a"
+  "libsimprof_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

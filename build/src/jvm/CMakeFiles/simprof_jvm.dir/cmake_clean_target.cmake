@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimprof_jvm.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_hadoop.dir/hadoop.cc.o"
+  "CMakeFiles/simprof_hadoop.dir/hadoop.cc.o.d"
+  "libsimprof_hadoop.a"
+  "libsimprof_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

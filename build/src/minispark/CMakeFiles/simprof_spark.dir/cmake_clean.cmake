@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_spark.dir/graphx.cc.o"
+  "CMakeFiles/simprof_spark.dir/graphx.cc.o.d"
+  "CMakeFiles/simprof_spark.dir/spark_context.cc.o"
+  "CMakeFiles/simprof_spark.dir/spark_context.cc.o.d"
+  "libsimprof_spark.a"
+  "libsimprof_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

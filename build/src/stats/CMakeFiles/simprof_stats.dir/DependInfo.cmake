@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/simprof_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/simprof_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/feature_select.cc" "src/stats/CMakeFiles/simprof_stats.dir/feature_select.cc.o" "gcc" "src/stats/CMakeFiles/simprof_stats.dir/feature_select.cc.o.d"
+  "/root/repo/src/stats/kmeans.cc" "src/stats/CMakeFiles/simprof_stats.dir/kmeans.cc.o" "gcc" "src/stats/CMakeFiles/simprof_stats.dir/kmeans.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/stats/CMakeFiles/simprof_stats.dir/matrix.cc.o" "gcc" "src/stats/CMakeFiles/simprof_stats.dir/matrix.cc.o.d"
+  "/root/repo/src/stats/silhouette.cc" "src/stats/CMakeFiles/simprof_stats.dir/silhouette.cc.o" "gcc" "src/stats/CMakeFiles/simprof_stats.dir/silhouette.cc.o.d"
+  "/root/repo/src/stats/stratified.cc" "src/stats/CMakeFiles/simprof_stats.dir/stratified.cc.o" "gcc" "src/stats/CMakeFiles/simprof_stats.dir/stratified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/simprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

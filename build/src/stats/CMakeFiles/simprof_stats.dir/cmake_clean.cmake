@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_stats.dir/descriptive.cc.o"
+  "CMakeFiles/simprof_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/simprof_stats.dir/feature_select.cc.o"
+  "CMakeFiles/simprof_stats.dir/feature_select.cc.o.d"
+  "CMakeFiles/simprof_stats.dir/kmeans.cc.o"
+  "CMakeFiles/simprof_stats.dir/kmeans.cc.o.d"
+  "CMakeFiles/simprof_stats.dir/matrix.cc.o"
+  "CMakeFiles/simprof_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/simprof_stats.dir/silhouette.cc.o"
+  "CMakeFiles/simprof_stats.dir/silhouette.cc.o.d"
+  "CMakeFiles/simprof_stats.dir/stratified.cc.o"
+  "CMakeFiles/simprof_stats.dir/stratified.cc.o.d"
+  "libsimprof_stats.a"
+  "libsimprof_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

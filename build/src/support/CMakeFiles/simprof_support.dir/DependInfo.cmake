@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/assert.cc" "src/support/CMakeFiles/simprof_support.dir/assert.cc.o" "gcc" "src/support/CMakeFiles/simprof_support.dir/assert.cc.o.d"
+  "/root/repo/src/support/interner.cc" "src/support/CMakeFiles/simprof_support.dir/interner.cc.o" "gcc" "src/support/CMakeFiles/simprof_support.dir/interner.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/simprof_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/simprof_support.dir/rng.cc.o.d"
+  "/root/repo/src/support/serialize.cc" "src/support/CMakeFiles/simprof_support.dir/serialize.cc.o" "gcc" "src/support/CMakeFiles/simprof_support.dir/serialize.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/support/CMakeFiles/simprof_support.dir/table.cc.o" "gcc" "src/support/CMakeFiles/simprof_support.dir/table.cc.o.d"
+  "/root/repo/src/support/zipf.cc" "src/support/CMakeFiles/simprof_support.dir/zipf.cc.o" "gcc" "src/support/CMakeFiles/simprof_support.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

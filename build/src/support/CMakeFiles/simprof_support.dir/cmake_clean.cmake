@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_support.dir/assert.cc.o"
+  "CMakeFiles/simprof_support.dir/assert.cc.o.d"
+  "CMakeFiles/simprof_support.dir/interner.cc.o"
+  "CMakeFiles/simprof_support.dir/interner.cc.o.d"
+  "CMakeFiles/simprof_support.dir/rng.cc.o"
+  "CMakeFiles/simprof_support.dir/rng.cc.o.d"
+  "CMakeFiles/simprof_support.dir/serialize.cc.o"
+  "CMakeFiles/simprof_support.dir/serialize.cc.o.d"
+  "CMakeFiles/simprof_support.dir/table.cc.o"
+  "CMakeFiles/simprof_support.dir/table.cc.o.d"
+  "CMakeFiles/simprof_support.dir/zipf.cc.o"
+  "CMakeFiles/simprof_support.dir/zipf.cc.o.d"
+  "libsimprof_support.a"
+  "libsimprof_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

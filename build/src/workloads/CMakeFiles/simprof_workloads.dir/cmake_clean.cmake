@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_workloads.dir/graph_workloads.cc.o"
+  "CMakeFiles/simprof_workloads.dir/graph_workloads.cc.o.d"
+  "CMakeFiles/simprof_workloads.dir/registry.cc.o"
+  "CMakeFiles/simprof_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/simprof_workloads.dir/text_hadoop.cc.o"
+  "CMakeFiles/simprof_workloads.dir/text_hadoop.cc.o.d"
+  "CMakeFiles/simprof_workloads.dir/text_spark.cc.o"
+  "CMakeFiles/simprof_workloads.dir/text_spark.cc.o.d"
+  "libsimprof_workloads.a"
+  "libsimprof_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sampling_test.dir/core_sampling_test.cc.o"
+  "CMakeFiles/core_sampling_test.dir/core_sampling_test.cc.o.d"
+  "core_sampling_test"
+  "core_sampling_test.pdb"
+  "core_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_pipeline_test.dir/exec_pipeline_test.cc.o"
+  "CMakeFiles/exec_pipeline_test.dir/exec_pipeline_test.cc.o.d"
+  "exec_pipeline_test"
+  "exec_pipeline_test.pdb"
+  "exec_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

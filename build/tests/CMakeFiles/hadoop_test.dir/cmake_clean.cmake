@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_test.dir/hadoop_test.cc.o"
+  "CMakeFiles/hadoop_test.dir/hadoop_test.cc.o.d"
+  "hadoop_test"
+  "hadoop_test.pdb"
+  "hadoop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_stream_test.dir/hw_stream_test.cc.o"
+  "CMakeFiles/hw_stream_test.dir/hw_stream_test.cc.o.d"
+  "hw_stream_test"
+  "hw_stream_test.pdb"
+  "hw_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_kmeans_test.dir/stats_kmeans_test.cc.o"
+  "CMakeFiles/stats_kmeans_test.dir/stats_kmeans_test.cc.o.d"
+  "stats_kmeans_test"
+  "stats_kmeans_test.pdb"
+  "stats_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_descriptive_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_stratified_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_stream_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/spark_test[1]_include.cmake")
+include("/root/repo/build/tests/graphx_test[1]_include.cmake")
+include("/root/repo/build/tests/hadoop_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/core_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/core_phase_test[1]_include.cmake")
+include("/root/repo/build/tests/core_sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/core_sensitivity_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simprof_cli.dir/simprof_cli.cc.o"
+  "CMakeFiles/simprof_cli.dir/simprof_cli.cc.o.d"
+  "simprof"
+  "simprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simprof_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
