@@ -59,6 +59,50 @@ void BM_ChooseK(benchmark::State& state) {
 }
 BENCHMARK(BM_ChooseK)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
 
+// Thread-count sweeps for the parallel phase-formation engine. Run via
+// bench/run_phase_formation.sh to refresh BENCH_phase_formation.json (the
+// perf trajectory across PRs). Output is bit-identical across thread
+// counts; only wall clock changes.
+void BM_KMeansThreads(benchmark::State& state) {
+  Rng rng(1);
+  stats::Matrix pts = synthetic_features(1000, 100, 6, rng);
+  stats::KMeansConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto res = stats::kmeans(pts, 8, rng, cfg);
+    benchmark::DoNotOptimize(res.inertia);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_KMeansThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ChooseKThreads(benchmark::State& state) {
+  Rng rng(2);
+  stats::Matrix pts = synthetic_features(800, 100, 5, rng);
+  stats::ChooseKConfig cfg;
+  cfg.max_k = 20;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto res = stats::choose_k(pts, rng, cfg);
+    benchmark::DoNotOptimize(res.k);
+  }
+}
+BENCHMARK(BM_ChooseKThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SilhouetteExactThreads(benchmark::State& state) {
+  Rng rng(3);
+  stats::Matrix pts = synthetic_features(2000, 100, 4, rng);
+  auto res = stats::kmeans(pts, 4, rng);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::exact_silhouette(pts, res.labels, 4, threads));
+  }
+}
+BENCHMARK(BM_SilhouetteExactThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SilhouetteSampled(benchmark::State& state) {
   Rng rng(3);
   stats::Matrix pts = synthetic_features(2000, 100, 4, rng);

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Refresh BENCH_phase_formation.json — the phase-formation perf trajectory.
+#
+# Runs the clustering/silhouette microbenchmarks (including the 1/2/4/8
+# thread sweeps) and writes google-benchmark JSON to the repo root. The
+# seed-PR serial baseline is recorded as context so future PRs can compare
+# against the original per-pair-loop implementation:
+#   seed BM_ChooseK/200 ≈ 68.3 ms, BM_ChooseK/800 ≈ 381 ms (1-core CI host).
+#
+# Usage: bench/run_phase_formation.sh [extra google-benchmark flags]
+set -e
+cd "$(dirname "$0")/.."
+./build/bench/perf_core \
+  --benchmark_filter='BM_KMeans|BM_ChooseK|BM_Silhouette|BM_FormPhases' \
+  --benchmark_out=BENCH_phase_formation.json \
+  --benchmark_out_format=json \
+  --benchmark_context=seed_BM_ChooseK_200_ms=68.3 \
+  --benchmark_context=seed_BM_ChooseK_800_ms=381 \
+  --benchmark_context=seed_BM_KMeans_20_ms=27.7 \
+  --benchmark_context=seed_BM_SilhouetteSampled_ms=10.0 \
+  "$@"

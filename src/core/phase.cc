@@ -62,7 +62,9 @@ PhaseModel form_phases(const ThreadProfile& profile,
 
   // 3. Cluster with k-means, choosing k by the silhouette 90% rule.
   Rng rng(cfg.seed);
-  stats::ChooseKResult chosen = stats::choose_k(features, rng, cfg.choose_k);
+  stats::ChooseKConfig ck = cfg.choose_k;
+  if (ck.threads == 0) ck.threads = cfg.threads;
+  stats::ChooseKResult chosen = stats::choose_k(features, rng, ck);
 
   model.k = chosen.k;
   model.silhouette_scores = std::move(chosen.scores);

@@ -34,6 +34,10 @@ struct PhaseFormationConfig {
   double merge_threshold = 0.10;
   stats::ChooseKConfig choose_k;     ///< defaults: k ≤ 20, 90% rule
   std::uint64_t seed = 0x51eedULL;   ///< k-means seeding
+  /// Worker threads for the clustering sweep (0 = global default from
+  /// hardware_concurrency, overridable via the CLI --threads flag). Output
+  /// is bit-identical for any value — see stats/kmeans.h.
+  std::size_t threads = 0;
 };
 
 /// Per-phase CPI statistics (the paper's N_h, μ_h, σ_h, CoV_h).

@@ -6,6 +6,7 @@
 
 #include "stats/kmeans.h"
 #include "support/assert.h"
+#include "support/thread_pool.h"
 
 namespace simprof::core {
 
@@ -16,35 +17,41 @@ constexpr std::size_t kMinUnitsForStddevTest = 40;
 }  // namespace
 
 std::vector<std::size_t> classify_units(const PhaseModel& trained,
-                                        const ThreadProfile& reference) {
+                                        const ThreadProfile& reference,
+                                        std::size_t threads) {
   SIMPROF_EXPECTS(trained.k > 0, "untrained model");
 
   // Hoisted name → feature-index map (reference method ids differ from the
-  // training run's, names are the stable identity).
+  // training run's, names are the stable identity), shared read-only by all
+  // vectorization blocks.
   std::unordered_map<std::string_view, std::size_t> feature_of;
   for (std::size_t f = 0; f < trained.feature_names.size(); ++f) {
     feature_of.emplace(trained.feature_names[f], f);
   }
 
-  std::vector<std::size_t> labels(reference.num_units(), 0);
-  std::vector<double> v(trained.feature_names.size(), 0.0);
-  for (std::size_t u = 0; u < reference.num_units(); ++u) {
-    std::fill(v.begin(), v.end(), 0.0);
-    const UnitRecord& rec = reference.units[u];
-    double sum = 0.0;
-    for (std::size_t i = 0; i < rec.methods.size(); ++i) {
-      const auto& name = reference.method_names[rec.methods[i]];
-      if (auto it = feature_of.find(name); it != feature_of.end()) {
-        v[it->second] += static_cast<double>(rec.counts[i]);
-        sum += static_cast<double>(rec.counts[i]);
-      }
-    }
-    if (sum > 0.0) {
-      for (double& x : v) x /= sum;
-    }
-    labels[u] = stats::nearest_center(trained.centers, v);
-  }
-  return labels;
+  const std::size_t n = reference.num_units();
+  stats::Matrix vectors(n, trained.feature_names.size());
+  support::parallel_for(
+      threads, 0, n, 256,
+      [&](std::size_t, std::size_t cb, std::size_t ce) {
+        for (std::size_t u = cb; u < ce; ++u) {
+          auto v = vectors.row(u);
+          const UnitRecord& rec = reference.units[u];
+          double sum = 0.0;
+          for (std::size_t i = 0; i < rec.methods.size(); ++i) {
+            const auto& name = reference.method_names[rec.methods[i]];
+            if (auto it = feature_of.find(name); it != feature_of.end()) {
+              v[it->second] += static_cast<double>(rec.counts[i]);
+              sum += static_cast<double>(rec.counts[i]);
+            }
+          }
+          if (sum > 0.0) {
+            for (double& x : v) x /= sum;
+          }
+        }
+      });
+  // Bulk blocked nearest-center classification (matrix.h).
+  return stats::nearest_centers(trained.centers, vectors, threads);
 }
 
 std::vector<PhaseSensitivity> phase_sensitivity_test(

@@ -18,9 +18,11 @@ namespace simprof::core {
 
 /// Classify every unit of `reference` into the trained model's phases
 /// (nearest center in the model's feature space, features matched by
-/// method name).
+/// method name). Vectorization and the nearest-center pass run in row
+/// blocks on the thread pool (threads = 0 → global default).
 std::vector<std::size_t> classify_units(const PhaseModel& trained,
-                                        const ThreadProfile& reference);
+                                        const ThreadProfile& reference,
+                                        std::size_t threads = 0);
 
 struct PhaseSensitivity {
   double train_mean = 0.0;

@@ -6,13 +6,21 @@
 
 #include "stats/silhouette.h"
 #include "support/assert.h"
+#include "support/thread_pool.h"
 
 namespace simprof::stats {
 namespace {
 
+/// Rows per parallel_for chunk in the assignment step — big enough that the
+/// blocked kernel amortises, small enough that 20-way sweeps load-balance.
+constexpr std::size_t kRowGrain = 128;
+
 /// k-means++ seeding: first center uniform, subsequent centers sampled with
 /// probability proportional to squared distance to the nearest chosen center.
-Matrix seed_plus_plus(const Matrix& points, std::size_t k, Rng& rng) {
+/// Distances use the ‖x‖²+‖c‖²−2·x·c expansion against the precomputed row
+/// norms, same as the assignment kernel.
+Matrix seed_plus_plus(const Matrix& points, std::span<const double> norms,
+                      std::size_t k, Rng& rng) {
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();
   Matrix centers(k, d);
@@ -22,9 +30,12 @@ Matrix seed_plus_plus(const Matrix& points, std::size_t k, Rng& rng) {
   std::copy_n(points.row(first).data(), d, centers.row(0).data());
 
   for (std::size_t c = 1; c < k; ++c) {
+    const auto prev = centers.row(c - 1);
+    const double cn = dot_product(prev, prev);
     double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const double d2 = squared_distance(points.row(i), centers.row(c - 1));
+      const double d2 = std::max(
+          0.0, norms[i] + cn - 2.0 * dot_product(points.row(i), prev));
       dist2[i] = std::min(dist2[i], d2);
       total += dist2[i];
     }
@@ -46,34 +57,39 @@ Matrix seed_plus_plus(const Matrix& points, std::size_t k, Rng& rng) {
   return centers;
 }
 
-KMeansResult lloyd(const Matrix& points, Matrix centers,
-                   const KMeansConfig& cfg) {
+KMeansResult lloyd(const Matrix& points, std::span<const double> norms,
+                   Matrix centers, const KMeansConfig& cfg) {
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();
   const std::size_t k = centers.rows();
+  const std::size_t num_chunks = (n + kRowGrain - 1) / kRowGrain;
 
   KMeansResult res;
   res.labels.assign(n, 0);
+  std::vector<double> dist2(n, 0.0);
+  std::vector<double> partial(num_chunks, 0.0);
   double prev_inertia = std::numeric_limits<double>::max();
 
   for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
-    // Assignment step.
+    // Assignment step: blocked ‖x‖²+‖c‖²−2·x·c kernel over row chunks.
+    // Per-chunk inertia partials merge in chunk order so the sum is
+    // bit-identical for any thread count.
+    const DistanceTable table(centers);
+    support::parallel_for(
+        cfg.threads, 0, n, kRowGrain,
+        [&](std::size_t chunk, std::size_t b, std::size_t e) {
+          table.nearest(points, norms, b, e,
+                        std::span<std::size_t>(res.labels).subspan(b, e - b),
+                        std::span<double>(dist2).subspan(b, e - b));
+          double acc = 0.0;
+          for (std::size_t i = b; i < e; ++i) acc += dist2[i];
+          partial[chunk] = acc;
+        });
     double inertia = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
-      std::size_t best_c = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        const double d2 = squared_distance(points.row(i), centers.row(c));
-        if (d2 < best) {
-          best = d2;
-          best_c = c;
-        }
-      }
-      res.labels[i] = best_c;
-      inertia += best;
-    }
+    for (const double p : partial) inertia += p;
 
-    // Update step.
+    // Update step (O(n·d), cheap next to assignment — kept serial so the
+    // center accumulation order is fixed).
     Matrix next(k, d);
     std::vector<std::size_t> counts(k, 0);
     for (std::size_t i = 0; i < n; ++i) {
@@ -85,14 +101,13 @@ KMeansResult lloyd(const Matrix& points, Matrix centers,
     }
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
-        // Empty cluster: re-seed it at the point farthest from its center.
+        // Empty cluster: re-seed it at the point farthest from its assigned
+        // center — dist2 already holds exactly that distance.
         std::size_t far = 0;
         double far_d = -1.0;
         for (std::size_t i = 0; i < n; ++i) {
-          const double d2 =
-              squared_distance(points.row(i), centers.row(res.labels[i]));
-          if (d2 > far_d) {
-            far_d = d2;
+          if (dist2[i] > far_d) {
+            far_d = dist2[i];
             far = i;
           }
         }
@@ -114,6 +129,31 @@ KMeansResult lloyd(const Matrix& points, Matrix centers,
   return res;
 }
 
+/// Restart loop against precomputed row norms: one fixed-seed stream per
+/// restart, run across the pool; ties on inertia keep the lowest restart so
+/// the winner matches the serial sweep.
+KMeansResult kmeans_with_norms(const Matrix& points,
+                               std::span<const double> norms, std::size_t k,
+                               std::uint64_t restart_seed,
+                               const KMeansConfig& cfg) {
+  const std::size_t restarts = std::max<std::size_t>(1, cfg.restarts);
+  std::vector<KMeansResult> candidates(restarts);
+  support::parallel_for(
+      cfg.threads, 0, restarts, 1,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t r = b; r < e; ++r) {
+          Rng stream = Rng::stream(restart_seed, r);
+          candidates[r] = lloyd(points, norms,
+                                seed_plus_plus(points, norms, k, stream), cfg);
+        }
+      });
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < restarts; ++r) {
+    if (candidates[r].inertia < candidates[best].inertia) best = r;
+  }
+  return std::move(candidates[best]);
+}
+
 }  // namespace
 
 KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
@@ -121,15 +161,8 @@ KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
   SIMPROF_EXPECTS(!points.empty(), "kmeans on empty matrix");
   SIMPROF_EXPECTS(k >= 1 && k <= points.rows(),
                   "k must be in [1, number of points]");
-
-  KMeansResult best;
-  best.inertia = std::numeric_limits<double>::max();
-  const std::size_t restarts = std::max<std::size_t>(1, cfg.restarts);
-  for (std::size_t r = 0; r < restarts; ++r) {
-    KMeansResult cand = lloyd(points, seed_plus_plus(points, k, rng), cfg);
-    if (cand.inertia < best.inertia) best = std::move(cand);
-  }
-  return best;
+  const std::vector<double> norms = row_squared_norms(points);
+  return kmeans_with_norms(points, norms, k, rng.next_u64(), cfg);
 }
 
 std::size_t nearest_center(const Matrix& centers,
@@ -153,19 +186,37 @@ ChooseKResult choose_k(const Matrix& points, Rng& rng,
   const std::size_t max_k =
       std::min<std::size_t>(cfg.max_k, points.rows());
 
-  ChooseKResult out;
-  std::vector<KMeansResult> clusterings;
-  clusterings.reserve(max_k);
-  out.scores.reserve(max_k);
+  // One draw of the caller's rng seeds the whole sweep; each k forks a
+  // fixed stream from it, so the sweep order (and thread count) cannot
+  // change any clustering.
+  const std::uint64_t sweep_seed = rng.next_u64();
+  const std::vector<double> norms = row_squared_norms(points);
 
-  for (std::size_t k = 1; k <= max_k; ++k) {
-    KMeansResult r = kmeans(points, k, rng, cfg.kmeans);
-    const double score =
-        (k == 1) ? cfg.k1_baseline_score
-                 : sampled_silhouette(points, r.labels, k);
-    out.scores.push_back(score);
-    clusterings.push_back(std::move(r));
-  }
+  KMeansConfig km = cfg.kmeans;
+  if (km.threads == 0) km.threads = cfg.threads;
+
+  ChooseKResult out;
+  std::vector<KMeansResult> clusterings(max_k);
+  out.scores.assign(max_k, 0.0);
+
+  support::parallel_for(
+      cfg.threads, 0, max_k, 1,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t idx = b; idx < e; ++idx) {
+          const std::size_t k = idx + 1;
+          const std::uint64_t restart_seed =
+              Rng::stream(sweep_seed, k).next_u64();
+          KMeansResult r =
+              kmeans_with_norms(points, norms, k, restart_seed, km);
+          out.scores[idx] =
+              (k == 1) ? cfg.k1_baseline_score
+                       : sampled_silhouette(points, r.labels, k,
+                                            kDefaultSilhouetteSample,
+                                            cfg.silhouette_seed + k,
+                                            km.threads);
+          clusterings[idx] = std::move(r);
+        }
+      });
 
   const double best = *std::max_element(out.scores.begin(), out.scores.end());
   const double cutoff = cfg.score_fraction * best;

@@ -1,6 +1,10 @@
 #include "stats/matrix.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "support/thread_pool.h"
 
 namespace simprof::stats {
 
@@ -44,6 +48,221 @@ double squared_distance(std::span<const double> a, std::span<const double> b) {
 
 double distance(std::span<const double> a, std::span<const double> b) {
   return std::sqrt(squared_distance(a, b));
+}
+
+double dot_product(std::span<const double> a, std::span<const double> b) {
+  SIMPROF_EXPECTS(a.size() == b.size(), "dimension mismatch");
+  const double* __restrict x = a.data();
+  const double* __restrict y = b.data();
+  const std::size_t n = a.size();
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    s0 += x[j] * y[j];
+    s1 += x[j + 1] * y[j + 1];
+    s2 += x[j + 2] * y[j + 2];
+    s3 += x[j + 3] * y[j + 3];
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; j < n; ++j) s += x[j] * y[j];
+  return s;
+}
+
+std::vector<double> row_squared_norms(const Matrix& m) {
+  std::vector<double> out(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    double acc = 0.0;
+    for (double v : row) acc += v * v;
+    out[r] = acc;
+  }
+  return out;
+}
+
+namespace {
+/// Table sizes up to this use the dot-product path: the whole table fits in
+/// L1 and a per-row inner loop of count_ elements would be too short to
+/// vectorize or pipeline (Lloyd assignment has count_ = k ≤ 20).
+constexpr std::size_t kDotPathMaxRows = 48;
+}  // namespace
+
+DistanceTable::DistanceTable(const Matrix& b)
+    : count_(b.rows()),
+      dims_(b.cols()),
+      rows_(b.flat().begin(), b.flat().end()),
+      transposed_(b.rows() * b.cols()),
+      norms_(b.rows(), 0.0) {
+  for (std::size_t r = 0; r < count_; ++r) {
+    const auto row = b.row(r);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < dims_; ++j) {
+      transposed_[j * count_ + r] = row[j];
+      acc += row[j] * row[j];
+    }
+    norms_[r] = acc;
+  }
+}
+
+/// Small-table path: one four-accumulator dot product per table row. Both
+/// operands stream contiguously and the table stays resident in L1.
+void DistanceTable::distances_dot(const double* x, double xn,
+                                  double* out) const {
+  const double* __restrict rows = rows_.data();
+  for (std::size_t c = 0; c < count_; ++c) {
+    const double* __restrict cr = rows + c * dims_;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t j = 0;
+    for (; j + 4 <= dims_; j += 4) {
+      s0 += x[j] * cr[j];
+      s1 += x[j + 1] * cr[j + 1];
+      s2 += x[j + 2] * cr[j + 2];
+      s3 += x[j + 3] * cr[j + 3];
+    }
+    double s = (s0 + s1) + (s2 + s3);
+    for (; j < dims_; ++j) s += x[j] * cr[j];
+    out[c] = std::max(0.0, xn + norms_[c] - 2.0 * s);
+  }
+}
+
+/// Large-table path: GEMM-style accumulation — for each dimension, one
+/// contiguous (vectorizable) pass over every table row. Zero coordinates
+/// (common in L1-normalized sparse feature rows) contribute nothing and
+/// are skipped.
+void DistanceTable::distances_saxpy(const double* x, double xn,
+                                    double* out) const {
+  double* __restrict o = out;
+  std::fill_n(o, count_, 0.0);
+  for (std::size_t j = 0; j < dims_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    const double* __restrict col = transposed_.data() + j * count_;
+    for (std::size_t c = 0; c < count_; ++c) o[c] += xj * col[c];
+  }
+  const double* __restrict norms = norms_.data();
+  for (std::size_t c = 0; c < count_; ++c) {
+    o[c] = std::max(0.0, xn + norms[c] - 2.0 * o[c]);
+  }
+}
+
+/// Four left-hand rows at once: each table column is loaded once and feeds
+/// four accumulator rows, quadrupling the kernel's arithmetic intensity.
+/// Per output element the accumulation chain is identical to the one-row
+/// path, so blocking cannot change a single bit of the result.
+void DistanceTable::distances_saxpy4(const double* const* xs,
+                                     const double* xns,
+                                     double* const* os) const {
+  double* __restrict o0 = os[0];
+  double* __restrict o1 = os[1];
+  double* __restrict o2 = os[2];
+  double* __restrict o3 = os[3];
+  std::fill_n(o0, count_, 0.0);
+  std::fill_n(o1, count_, 0.0);
+  std::fill_n(o2, count_, 0.0);
+  std::fill_n(o3, count_, 0.0);
+  for (std::size_t j = 0; j < dims_; ++j) {
+    const double xj0 = xs[0][j];
+    const double xj1 = xs[1][j];
+    const double xj2 = xs[2][j];
+    const double xj3 = xs[3][j];
+    if (xj0 == 0.0 && xj1 == 0.0 && xj2 == 0.0 && xj3 == 0.0) continue;
+    const double* __restrict col = transposed_.data() + j * count_;
+    for (std::size_t c = 0; c < count_; ++c) {
+      const double t = col[c];
+      o0[c] += xj0 * t;
+      o1[c] += xj1 * t;
+      o2[c] += xj2 * t;
+      o3[c] += xj3 * t;
+    }
+  }
+  const double* __restrict norms = norms_.data();
+  for (std::size_t c = 0; c < count_; ++c) {
+    o0[c] = std::max(0.0, xns[0] + norms[c] - 2.0 * o0[c]);
+    o1[c] = std::max(0.0, xns[1] + norms[c] - 2.0 * o1[c]);
+    o2[c] = std::max(0.0, xns[2] + norms[c] - 2.0 * o2[c]);
+    o3[c] = std::max(0.0, xns[3] + norms[c] - 2.0 * o3[c]);
+  }
+}
+
+void DistanceTable::squared_distances(const Matrix& a,
+                                      std::span<const double> a_norms,
+                                      std::size_t row_begin,
+                                      std::size_t row_end,
+                                      std::span<double> out) const {
+  SIMPROF_EXPECTS(a.cols() == dims_, "dimension mismatch");
+  SIMPROF_EXPECTS(row_begin <= row_end && row_end <= a.rows(),
+                  "row block out of range");
+  SIMPROF_EXPECTS(a_norms.size() == a.rows(), "norms length mismatch");
+  SIMPROF_EXPECTS(out.size() >= (row_end - row_begin) * count_,
+                  "output block too small");
+  // Path choice depends only on the table shape, never on threading, and
+  // every path produces bit-identical distances per output element.
+  if (count_ <= kDotPathMaxRows) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      distances_dot(a.row(i).data(), a_norms[i],
+                    out.data() + (i - row_begin) * count_);
+    }
+    return;
+  }
+  std::size_t i = row_begin;
+  for (; i + 4 <= row_end; i += 4) {
+    const double* xs[4];
+    double xns[4];
+    double* os[4];
+    for (std::size_t r = 0; r < 4; ++r) {
+      xs[r] = a.row(i + r).data();
+      xns[r] = a_norms[i + r];
+      os[r] = out.data() + (i + r - row_begin) * count_;
+    }
+    distances_saxpy4(xs, xns, os);
+  }
+  for (; i < row_end; ++i) {
+    distances_saxpy(a.row(i).data(), a_norms[i],
+                    out.data() + (i - row_begin) * count_);
+  }
+}
+
+void DistanceTable::nearest(const Matrix& a, std::span<const double> a_norms,
+                            std::size_t row_begin, std::size_t row_end,
+                            std::span<std::size_t> labels,
+                            std::span<double> dist2) const {
+  SIMPROF_EXPECTS(count_ > 0, "no table rows");
+  SIMPROF_EXPECTS(labels.size() >= row_end - row_begin &&
+                      dist2.size() >= row_end - row_begin,
+                  "output block too small");
+  std::vector<double> row(count_);
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    squared_distances(a, a_norms, i, i + 1, row);
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < count_; ++c) {
+      if (row[c] < best) {
+        best = row[c];
+        best_c = c;
+      }
+    }
+    labels[i - row_begin] = best_c;
+    dist2[i - row_begin] = best;
+  }
+}
+
+std::vector<std::size_t> nearest_centers(const Matrix& centers,
+                                         const Matrix& points,
+                                         std::size_t threads) {
+  SIMPROF_EXPECTS(centers.rows() > 0, "no centers");
+  const std::size_t n = points.rows();
+  std::vector<std::size_t> labels(n, 0);
+  if (n == 0) return labels;
+  const std::vector<double> norms = row_squared_norms(points);
+  const DistanceTable table(centers);
+  std::vector<double> dist2(n);
+  support::parallel_for(
+      threads, 0, n, 256,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        table.nearest(points, norms, b, e,
+                      std::span<std::size_t>(labels).subspan(b, e - b),
+                      std::span<double>(dist2).subspan(b, e - b));
+      });
+  return labels;
 }
 
 }  // namespace simprof::stats

@@ -63,4 +63,62 @@ double squared_distance(std::span<const double> a, std::span<const double> b);
 /// Euclidean distance.
 double distance(std::span<const double> a, std::span<const double> b);
 
+/// ‖row‖² for every row of m — the cached left-hand norms of the blocked
+/// distance kernel.
+std::vector<double> row_squared_norms(const Matrix& m);
+
+/// Precomputed right-hand side of blocked pairwise-distance computations:
+/// the rows of `b` stored transposed (dimension-major) plus their cached
+/// squared norms, so that d²(x, y) = ‖x‖² + ‖y‖² − 2·x·y turns a block of
+/// left-hand rows into a small GEMM whose inner loop runs contiguously over
+/// all right-hand rows at once. This replaces the per-pair squared_distance
+/// loops in Lloyd assignment, bulk unit classification and the silhouette
+/// variants. Results are a deterministic function of the operands alone
+/// (fixed accumulation order), so blocks may be computed on any thread.
+class DistanceTable {
+ public:
+  explicit DistanceTable(const Matrix& b);
+
+  std::size_t count() const { return count_; }
+  std::size_t dims() const { return dims_; }
+  std::span<const double> norms() const { return norms_; }
+
+  /// d² between rows [row_begin, row_end) of `a` and every table row.
+  /// `a_norms` are row_squared_norms(a); `out` is (row_end−row_begin) ×
+  /// count() row-major. Negative rounding residues are clamped to 0.
+  void squared_distances(const Matrix& a, std::span<const double> a_norms,
+                         std::size_t row_begin, std::size_t row_end,
+                         std::span<double> out) const;
+
+  /// For rows [row_begin, row_end) of `a`: index of the nearest table row
+  /// (lowest index wins ties) and the squared distance to it. `labels` and
+  /// `dist2` are indexed from 0 for the block.
+  void nearest(const Matrix& a, std::span<const double> a_norms,
+               std::size_t row_begin, std::size_t row_end,
+               std::span<std::size_t> labels, std::span<double> dist2) const;
+
+ private:
+  void distances_dot(const double* x, double xn, double* out) const;
+  void distances_saxpy(const double* x, double xn, double* out) const;
+  void distances_saxpy4(const double* const* xs, const double* xns,
+                        double* const* os) const;
+
+  std::size_t count_ = 0;
+  std::size_t dims_ = 0;
+  std::vector<double> rows_;        ///< count_ × dims_ (row-major copy)
+  std::vector<double> transposed_;  ///< dims_ × count_
+  std::vector<double> norms_;       ///< count_
+};
+
+/// x·y with four independent accumulators (fixed merge order, so the result
+/// is deterministic) — gives the FP pipeline ILP that the naive dependent
+/// chain in squared_distance cannot.
+double dot_product(std::span<const double> a, std::span<const double> b);
+
+/// Nearest row of `centers` for every row of `points`, via the blocked
+/// kernel, parallelised over row blocks (threads = 0 → global default).
+std::vector<std::size_t> nearest_centers(const Matrix& centers,
+                                         const Matrix& points,
+                                         std::size_t threads = 0);
+
 }  // namespace simprof::stats

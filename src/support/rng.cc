@@ -33,6 +33,16 @@ double Rng::next_gaussian() {
   return r * std::cos(theta);
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) {
+  // Decorrelate the stream index with one SplitMix64 pass before mixing it
+  // into the seed; adjacent indices land in unrelated regions of seed space.
+  SplitMix64 ix(stream_index + 0x632be59bd9b4e019ULL);
+  Rng child(0);
+  SplitMix64 sm(seed ^ ix.next());
+  for (auto& s : child.state_) s = sm.next();
+  return child;
+}
+
 Rng Rng::split() {
   Rng child(0);
   // Seed the child from two draws so parent and child streams diverge.

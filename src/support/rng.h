@@ -87,7 +87,16 @@ class Rng {
   double next_gaussian();
 
   /// Derive an independent child stream (e.g. one per simulated core).
+  /// Consumes state, so successive calls yield different streams.
   Rng split();
+
+  /// Deterministic fixed-seed stream derivation: expands (seed, stream_index)
+  /// through SplitMix64 into an independent generator. Unlike split(), this
+  /// is a pure function — stream i of a seed is the same no matter how many
+  /// other streams were forked or in what order, which is what lets
+  /// choose_k's parallel k-sweep and k-means restarts reproduce the serial
+  /// schedule bit-for-bit on any thread count.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_index);
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,64 @@
+// A plain std::thread pool with a deterministic parallel_for primitive — the
+// execution layer under the phase-formation hot paths (k-means, silhouette,
+// choose_k).
+//
+// Determinism contract: parallel_for splits [begin, end) into chunks of size
+// `grain`; the chunk decomposition depends only on (begin, end, grain), never
+// on the worker count or on which worker runs which chunk. Callers that
+// reduce (sums, argmins) accumulate per-chunk partials indexed by chunk and
+// merge them in chunk order, so floating-point results are bit-identical for
+// any thread count — including the serial inline path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace simprof::support {
+
+class ThreadPool {
+ public:
+  /// `workers` helper threads (the caller of parallel_for is an extra
+  /// participant, so total parallelism is workers + 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const;
+
+  /// Chunk function: (chunk_index, chunk_begin, chunk_end).
+  using ChunkFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  /// Run `fn` over [begin, end) in chunks of `grain` (the last chunk may be
+  /// short). At most `max_parallelism` threads touch the range (0 means
+  /// workers() + 1). Blocks until every chunk ran; the first exception thrown
+  /// by `fn` is rethrown here. Nested calls (from inside a pool worker) run
+  /// inline serially, in chunk order, to avoid deadlock — results are
+  /// unchanged because chunking is identical.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const ChunkFn& fn, std::size_t max_parallelism = 0);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Default thread count for all parallel phase-formation entry points:
+/// std::thread::hardware_concurrency() (at least 1) until overridden by
+/// set_default_thread_count (the CLI's --threads flag).
+std::size_t default_thread_count();
+void set_default_thread_count(std::size_t n);
+
+/// Resolve a config-level `threads` knob: 0 means the global default.
+std::size_t resolve_threads(std::size_t requested);
+
+/// The process-wide pool used by the stats/core hot paths. Lazily created.
+ThreadPool& global_pool();
+
+/// parallel_for on the global pool with a resolved thread cap; threads <= 1
+/// or a single chunk runs inline with no synchronisation cost.
+void parallel_for(std::size_t threads, std::size_t begin, std::size_t end,
+                  std::size_t grain, const ThreadPool::ChunkFn& fn);
+
+}  // namespace simprof::support

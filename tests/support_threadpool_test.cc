@@ -1,0 +1,154 @@
+// Unit tests for support::ThreadPool and its deterministic parallel_for:
+// chunk decomposition, empty ranges, grain > n, exception propagation,
+// nested-call inlining, and bitwise-reproducible ordered reductions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace simprof::support {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, 7, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ChunkDecompositionIndependentOfThreadCount) {
+  // The (chunk_index, begin, end) triples must depend only on the range and
+  // grain — this is what makes ordered partial reductions deterministic.
+  auto decompose = [](ThreadPool& pool, std::size_t cap) {
+    std::mutex mu;
+    std::set<std::tuple<std::size_t, std::size_t, std::size_t>> chunks;
+    pool.parallel_for(
+        5, 103, 10,
+        [&](std::size_t c, std::size_t b, std::size_t e) {
+          std::lock_guard<std::mutex> lock(mu);
+          chunks.insert({c, b, e});
+        },
+        cap);
+    return chunks;
+  };
+  ThreadPool pool(4);
+  const auto serial = decompose(pool, 1);
+  EXPECT_EQ(serial.size(), 10u);  // ceil(98 / 10)
+  EXPECT_EQ(decompose(pool, 2), serial);
+  EXPECT_EQ(decompose(pool, 0), serial);
+  // Last chunk is short: [95, 103).
+  EXPECT_TRUE(serial.count({9u, 95u, 103u}));
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  bool invoked = false;
+  pool.parallel_for(10, 10, 4,
+                    [&](std::size_t, std::size_t, std::size_t) {
+                      invoked = true;
+                    });
+  pool.parallel_for(10, 3, 4,  // end < begin is an empty range too
+                    [&](std::size_t, std::size_t, std::size_t) {
+                      invoked = true;
+                    });
+  EXPECT_FALSE(invoked);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(2);
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> calls;
+  pool.parallel_for(2, 9, 1000,
+                    [&](std::size_t c, std::size_t b, std::size_t e) {
+                      calls.push_back({c, b, e});
+                    });
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], std::make_tuple(0u, 2u, 9u));
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 5,
+                        [&](std::size_t c, std::size_t, std::size_t) {
+                          if (c == 7) throw std::runtime_error("chunk 7");
+                        }),
+      std::runtime_error);
+  // The pool survives a failed job and runs the next one.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(0, 100, 5, [&](std::size_t, std::size_t b, std::size_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromSerialPath) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   0, 10, 100,  // single chunk → inline path
+                   [&](std::size_t, std::size_t, std::size_t) {
+                     throw std::runtime_error("inline");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(0, 4, 1, [&](std::size_t, std::size_t, std::size_t) {
+    // Nested call on the same pool must not deadlock; it runs serially.
+    pool.parallel_for(0, 50, 10,
+                      [&](std::size_t, std::size_t b, std::size_t e) {
+                        inner_total.fetch_add(e - b);
+                      });
+  });
+  EXPECT_EQ(inner_total.load(), 200u);
+}
+
+TEST(ThreadPool, OrderedReductionBitIdenticalAcrossThreadCounts) {
+  // Sum of irrational-ish terms: per-chunk partials merged in chunk order
+  // must produce the same bits no matter how many workers participated.
+  ThreadPool pool(4);
+  auto reduce = [&](std::size_t cap) {
+    const std::size_t n = 4096, grain = 64;
+    std::vector<double> partial((n + grain - 1) / grain, 0.0);
+    pool.parallel_for(
+        0, n, grain,
+        [&](std::size_t c, std::size_t b, std::size_t e) {
+          double acc = 0.0;
+          for (std::size_t i = b; i < e; ++i) {
+            acc += std::sqrt(static_cast<double>(i) + 0.1);
+          }
+          partial[c] = acc;
+        },
+        cap);
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  const double serial = reduce(1);
+  EXPECT_EQ(serial, reduce(2));
+  EXPECT_EQ(serial, reduce(3));
+  EXPECT_EQ(serial, reduce(0));
+}
+
+TEST(ThreadPoolGlobals, ResolveThreadsUsesDefault) {
+  const std::size_t saved = default_thread_count();
+  set_default_thread_count(3);
+  EXPECT_EQ(resolve_threads(0), 3u);
+  EXPECT_EQ(resolve_threads(5), 5u);
+  set_default_thread_count(0);  // back to hardware_concurrency
+  EXPECT_GE(default_thread_count(), 1u);
+  (void)saved;
+}
+
+}  // namespace
+}  // namespace simprof::support

@@ -2,12 +2,15 @@
 //
 //   simprof list
 //   simprof profile <workload> [--input NAME] [--scale S] [--seed N]
-//                   [--out FILE]
-//   simprof phases  <profile.sprf>
+//                   [--out FILE] [--threads N]
+//   simprof phases  <profile.sprf> [--threads N]
 //   simprof sample  <profile.sprf> [-n N] [--technique simprof|srs|second|
-//                   code|systematic|simprof-sys] [--seed N]
+//                   code|systematic|simprof-sys] [--seed N] [--threads N]
 //   simprof size    <profile.sprf> [--error 0.05] [--confidence 99.7]
-//   simprof sensitivity <workload> [--train NAME] [--scale S]
+//   simprof sensitivity <workload> [--train NAME] [--scale S] [--threads N]
+//
+// --threads N sets the worker count for the parallel phase-formation engine
+// (default: hardware_concurrency). Results are bit-identical for any N.
 //
 // `profile` runs a Table I workload on the simulated cluster and writes the
 // thread profile; the analysis subcommands operate on saved profiles, so a
@@ -26,6 +29,7 @@
 #include "core/sensitivity.h"
 #include "data/catalog.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -86,7 +90,7 @@ int cmd_list() {
 int cmd_profile(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: simprof profile <workload> [--input NAME] "
-                 "[--scale S] [--seed N] [--out FILE]\n";
+                 "[--scale S] [--seed N] [--out FILE] [--threads N]\n";
     return 2;
   }
   const std::string workload = args.positional[0];
@@ -112,7 +116,7 @@ int cmd_profile(const Args& args) {
 
 int cmd_phases(const Args& args) {
   if (args.positional.empty()) {
-    std::cerr << "usage: simprof phases <profile.sprf>\n";
+    std::cerr << "usage: simprof phases <profile.sprf> [--threads N]\n";
     return 2;
   }
   const auto profile = load_profile(args.positional[0]);
@@ -148,7 +152,7 @@ int cmd_phases(const Args& args) {
 int cmd_sample(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: simprof sample <profile.sprf> [-n N] "
-                 "[--technique T] [--seed N]\n";
+                 "[--technique T] [--seed N] [--threads N]\n";
     return 2;
   }
   const auto profile = load_profile(args.positional[0]);
@@ -213,7 +217,7 @@ int cmd_size(const Args& args) {
 int cmd_sensitivity(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: simprof sensitivity <workload> [--train NAME] "
-                 "[--scale S]\n";
+                 "[--scale S] [--threads N]\n";
     return 2;
   }
   const std::string workload = args.positional[0];
@@ -256,6 +260,17 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = parse(argc, argv);
   try {
+    // Global: --threads N caps the phase-formation thread pool for every
+    // subcommand. Output is bit-identical regardless of the value.
+    if (const std::string t = args.opt("threads", ""); !t.empty()) {
+      try {
+        support::set_default_thread_count(std::stoull(t));
+      } catch (const std::exception&) {
+        std::cerr << "error: --threads expects a non-negative integer, got '"
+                  << t << "'\n";
+        return 2;
+      }
+    }
     if (cmd == "list") return cmd_list();
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "phases") return cmd_phases(args);
