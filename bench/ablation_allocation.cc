@@ -49,7 +49,8 @@ double proportional_error(const core::ThreadProfile& prof,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simprof::bench::ObsSession obs_session(argc, argv);
   core::WorkloadLab lab(bench::lab_config());
 
   std::cout << "Ablation — allocation & within-phase selection (n = "

@@ -12,7 +12,8 @@
 #include "bench_common.h"
 #include "support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  simprof::bench::ObsSession obs_session(argc, argv);
   using namespace simprof;
   const std::uint64_t sizes[] = {250'000, 1'000'000, 4'000'000};
 

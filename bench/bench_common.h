@@ -8,17 +8,86 @@
 // Environment knobs:
 //   SIMPROF_SCALE      — data-volume scale (default 1.0)
 //   SIMPROF_CACHE_DIR  — profile cache directory (default .simprof_cache)
+//
+// Observability flags (every bench, stripped before any other parsing):
+//   --log-level LEVEL  — trace|debug|info|warn|error|off
+//   --metrics-out FILE — JSON metrics snapshot written at exit
+//   --trace-out FILE   — Chrome trace events (Perfetto) written at exit
 #pragma once
 
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/lab.h"
 #include "core/phase.h"
 #include "core/sampling.h"
+#include "obs/obs.h"
 
 namespace simprof::bench {
+
+/// RAII observability session for bench mains: strips the obs flags out of
+/// argc/argv (so downstream parsers like google-benchmark never see them),
+/// applies the log level, arms tracing, and writes the requested trace /
+/// metrics files on destruction.
+class ObsSession {
+ public:
+  ObsSession(int& argc, char** argv) {
+    int keep = 1;
+    for (int i = 1; i < argc; ++i) {
+      std::string value;
+      if (match(argc, argv, i, "--log-level", value)) {
+        if (const auto level = obs::parse_log_level(value)) {
+          obs::set_log_level(*level);
+        } else {
+          std::cerr << "warning: ignoring unknown --log-level '" << value
+                    << "'\n";
+        }
+      } else if (match(argc, argv, i, "--metrics-out", value)) {
+        metrics_out_ = value;
+      } else if (match(argc, argv, i, "--trace-out", value)) {
+        trace_out_ = value;
+      } else {
+        argv[keep++] = argv[i];
+      }
+    }
+    argc = keep;
+    if (!trace_out_.empty()) obs::start_tracing();
+  }
+
+  ~ObsSession() {
+    if (!trace_out_.empty()) {
+      obs::stop_tracing();
+      obs::write_trace(trace_out_);
+    }
+    if (!metrics_out_.empty()) obs::metrics().write_json(metrics_out_);
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  /// "--flag VALUE" (consumes the next arg) or "--flag=VALUE".
+  static bool match(int argc, char** argv, int& i, const char* flag,
+                    std::string& value) {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) != 0) return false;
+    if (argv[i][len] == '=') {
+      value = argv[i] + len + 1;
+      return true;
+    }
+    if (argv[i][len] == '\0' && i + 1 < argc) {
+      value = argv[++i];
+      return true;
+    }
+    return false;
+  }
+
+  std::string metrics_out_;
+  std::string trace_out_;
+};
 
 /// Paper-order config names (Table I).
 inline const std::vector<std::string>& config_names() {

@@ -10,7 +10,8 @@
 #include "bench_common.h"
 #include "support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  simprof::bench::ObsSession obs_session(argc, argv);
   using namespace simprof;
   core::WorkloadLab lab(bench::lab_config());
 

@@ -14,7 +14,8 @@
 #include "stats/stratified.h"
 #include "support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  simprof::bench::ObsSession obs_session(argc, argv);
   using namespace simprof;
   core::WorkloadLab lab(bench::lab_config());
   const auto run = lab.run("cc_sp");

@@ -11,7 +11,8 @@
 #include "data/catalog.h"
 #include "support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  simprof::bench::ObsSession obs_session(argc, argv);
   using namespace simprof;
   core::WorkloadLab lab(bench::lab_config());
   const auto catalog = data::snap_catalog();

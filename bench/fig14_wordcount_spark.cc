@@ -6,7 +6,8 @@
 // CPI) plus a small HDFS-IO phase with higher CPI variation.
 #include "fig_trace_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  simprof::bench::ObsSession obs_session(argc, argv);
   simprof::bench::print_phase_trace("wc_sp", "Figure 14");
   return 0;
 }

@@ -6,7 +6,8 @@
 // and a high-CoV quicksort phase from the recursive map-side sort.
 #include "fig_trace_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  simprof::bench::ObsSession obs_session(argc, argv);
   simprof::bench::print_phase_trace("wc_hp", "Figure 15");
   return 0;
 }

@@ -21,7 +21,9 @@ inline void print_phase_trace(const std::string& config_name,
   const auto model = core::form_phases(prof);
 
   std::cout << figure << " — " << config_name
-            << " CPI trace (units sorted by phase id)\n";
+            << " CPI trace (units sorted by phase id)\n"
+            << "profile: " << (run.from_cache ? "cache hit" : "fresh run")
+            << " (" << run.cache_path << ")\n";
 
   // Per-phase summary.
   Table summary({"phase", "units", "weight", "mean_cpi", "cov_cpi",

@@ -5,6 +5,7 @@
 // snapshot interval) and sampling-plan construction.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/phase.h"
 #include "core/profile.h"
 #include "core/sampling.h"
@@ -261,4 +262,14 @@ BENCHMARK(BM_UnitClassification);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the ObsSession strips the obs
+// flags (--log-level/--metrics-out/--trace-out) before google-benchmark
+// parses the remainder, so both flag families coexist.
+int main(int argc, char** argv) {
+  simprof::bench::ObsSession obs_session(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

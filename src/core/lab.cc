@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "support/assert.h"
 
 namespace simprof::core {
@@ -45,16 +46,28 @@ std::string WorkloadLab::cache_path(const std::string& workload_name,
 
 LabRun WorkloadLab::run(const std::string& workload_name,
                         const std::string& graph_input) {
+  static obs::Counter& hits = obs::metrics().counter("lab.cache_hits");
+  static obs::Counter& misses = obs::metrics().counter("lab.cache_misses");
   const std::string path = cache_path(workload_name, graph_input);
   if (cfg_.use_cache) {
     std::ifstream in(path, std::ios::binary);
     if (in) {
+      obs::ObsSpan load_span("lab.cache_load", {{"workload", workload_name}});
       LabRun r;
       r.profile = ThreadProfile::load(in);
       r.from_cache = true;
+      r.cache_path = path;
+      hits.increment();
+      SIMPROF_LOG(kInfo) << "lab: cache hit " << workload_name << "/"
+                         << graph_input << " <- " << path << " ("
+                         << r.profile.num_units() << " units)";
       return r;
     }
   }
+  misses.increment();
+  SIMPROF_LOG(kInfo) << "lab: cache miss " << workload_name << "/"
+                     << graph_input << " scale=" << cfg_.scale
+                     << " seed=" << cfg_.seed << ", running oracle pass";
 
   const workloads::WorkloadInfo& info = workloads::workload(workload_name);
   exec::Cluster cluster(cluster_config());
@@ -68,12 +81,17 @@ LabRun WorkloadLab::run(const std::string& workload_name,
   params.graph_scale_override = cfg_.graph_scale_override;
 
   LabRun r;
-  r.result = info.run(cluster, params);
-  r.profile = manager.take_profile();
+  {
+    obs::ObsSpan run_span("lab.workload_run", {{"workload", workload_name},
+                                               {"input", graph_input}});
+    r.result = info.run(cluster, params);
+    r.profile = manager.take_profile();
+  }
   SIMPROF_ENSURES(r.profile.num_units() > 0,
                   "workload produced no sampling units: " + workload_name);
 
   if (cfg_.use_cache) {
+    obs::ObsSpan save_span("lab.cache_save", {{"workload", workload_name}});
     std::filesystem::create_directories(cache_dir_);
     const std::string tmp = path + ".tmp";
     {
@@ -82,6 +100,9 @@ LabRun WorkloadLab::run(const std::string& workload_name,
       r.profile.save(out);
     }
     std::filesystem::rename(tmp, path);
+    r.cache_path = path;
+    SIMPROF_LOG(kDebug) << "lab: cached " << r.profile.num_units()
+                        << " units -> " << path;
   }
   return r;
 }

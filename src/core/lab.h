@@ -30,6 +30,7 @@ struct LabRun {
   ThreadProfile profile;
   workloads::WorkloadResult result;  ///< zeroed when loaded from cache
   bool from_cache = false;
+  std::string cache_path;  ///< on-disk cache file this run hit or populated
 };
 
 class WorkloadLab {

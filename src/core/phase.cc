@@ -5,6 +5,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "stats/feature_select.h"
 #include "support/assert.h"
 #include "support/rng.h"
@@ -28,6 +29,11 @@ stats::Matrix build_feature_matrix(const ThreadProfile& profile) {
 PhaseModel form_phases(const ThreadProfile& profile,
                        const PhaseFormationConfig& cfg) {
   SIMPROF_EXPECTS(profile.num_units() > 0, "cannot form phases of nothing");
+  obs::ObsSpan span("phase.form_phases", {{"units", profile.num_units()},
+                                          {"methods", profile.num_methods()}});
+  static obs::Counter& formations =
+      obs::metrics().counter("phase.formations");
+  formations.increment();
 
   // 1. Vectorize call stacks (full method space, row-normalized).
   stats::Matrix full = build_feature_matrix(profile);
@@ -102,6 +108,9 @@ PhaseModel form_phases(const ThreadProfile& profile,
       model.representative_units[h] = u;
     }
   }
+  SIMPROF_LOG(kDebug) << "phase: formed k=" << model.k << " phases from "
+                      << profile.num_units() << " units ("
+                      << selected.size() << " selected features)";
   return model;
 }
 

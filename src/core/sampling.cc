@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 #include "support/assert.h"
 #include "support/rng.h"
@@ -44,10 +45,24 @@ SamplePlan simprof_sample(const ThreadProfile& profile,
   SIMPROF_EXPECTS(model.labels.size() == profile.num_units(),
                   "model fitted on a different profile");
 
+  obs::ObsSpan span("sample.simprof",
+                    {{"n", n}, {"k", model.k}, {"units", profile.num_units()}});
+  static obs::Counter& plans = obs::metrics().counter("sample.simprof_plans");
+  plans.increment();
+
   SamplePlan plan;
   plan.technique = SamplingTechnique::kSimProf;
   const auto strata = strata_of(model);
   plan.allocation = stats::optimal_allocation(strata, n);
+  if (obs::log_enabled(obs::LogLevel::kDebug)) {
+    std::ostringstream alloc;
+    for (std::size_t h = 0; h < plan.allocation.size(); ++h) {
+      if (h > 0) alloc << ' ';
+      alloc << plan.allocation[h];
+    }
+    SIMPROF_LOG(kDebug) << "sample: Neyman allocation n=" << n
+                        << " k=" << model.k << " -> [" << alloc.str() << "]";
+  }
 
   // Group unit indices by phase, then draw n_h uniformly without
   // replacement from each phase.

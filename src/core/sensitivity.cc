@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "stats/kmeans.h"
 #include "support/assert.h"
 #include "support/thread_pool.h"
@@ -121,17 +122,32 @@ SensitivityReport input_sensitivity_test(
     const std::vector<std::string>& reference_names, double threshold) {
   SIMPROF_EXPECTS(references.size() == reference_names.size(),
                   "reference name/profile count mismatch");
+  obs::ObsSpan span("sensitivity.input_test",
+                    {{"k", trained.k}, {"references", references.size()}});
+  static obs::Counter& tests = obs::metrics().counter("sensitivity.tests");
+  static obs::Counter& sensitive_phases =
+      obs::metrics().counter("sensitivity.sensitive_phases");
+  tests.increment();
   SensitivityReport report;
   report.phase_sensitive.assign(trained.k, false);
   report.reference_names = reference_names;
-  for (const ThreadProfile* ref : references) {
+  for (std::size_t r = 0; r < references.size(); ++r) {
+    const ThreadProfile* ref = references[r];
     SIMPROF_EXPECTS(ref != nullptr, "null reference profile");
     auto per_phase = phase_sensitivity_test(trained, *ref, threshold);
+    std::size_t hits = 0;
     for (std::size_t h = 0; h < trained.k; ++h) {
-      if (per_phase[h].sensitive) report.phase_sensitive[h] = true;
+      if (per_phase[h].sensitive) {
+        report.phase_sensitive[h] = true;
+        ++hits;
+      }
     }
+    SIMPROF_LOG(kInfo) << "sensitivity: reference " << reference_names[r]
+                       << " flags " << hits << "/" << trained.k
+                       << " phases (threshold=" << threshold << ")";
     report.per_reference.push_back(std::move(per_phase));
   }
+  sensitive_phases.add(report.num_sensitive());
   return report;
 }
 

@@ -1,7 +1,9 @@
 #include "exec/cluster.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/obs.h"
 #include "support/assert.h"
 
 namespace simprof::exec {
@@ -28,27 +30,55 @@ ExecutorContext& Cluster::context(std::uint32_t core) {
 
 void Cluster::run_stage(std::string_view stage_name, std::vector<Task> tasks,
                         bool thread_per_task) {
-  (void)stage_name;  // retained for tracing/debug builds
+  static obs::Counter& stages = obs::metrics().counter("exec.stages");
+  static obs::Counter& task_count = obs::metrics().counter("exec.tasks");
+  static obs::Counter& waves = obs::metrics().counter("exec.waves");
+  stages.increment();
+  task_count.add(tasks.size());
+  const std::string name(stage_name);
+  obs::ObsSpan stage_span("exec.stage",
+                          {{"stage", stage_name}, {"tasks", tasks.size()}});
+  const bool tracing = obs::trace_enabled();
+  const std::uint64_t stage_start_cycles =
+      tracing ? contexts_[cfg_.profiled_core]->counters().cycles : 0;
   const std::uint32_t cores = num_cores();
+  SIMPROF_LOG(kDebug) << "exec: stage " << name << " (" << tasks.size()
+                      << " tasks over " << cores << " cores)";
 
   // Deal tasks to cores round-robin, then run wave by wave. Within a wave
   // all tasks are concurrent in virtual time; host execution order is
   // core-major and deterministic.
   std::size_t next = 0;
+  std::size_t wave = 0;
   while (next < tasks.size()) {
     const std::uint32_t wave_width = static_cast<std::uint32_t>(
         std::min<std::size_t>(cores, tasks.size() - next));
     memory_.set_llc_pressure(wave_width);
+    waves.increment();
     for (std::uint32_t c = 0; c < wave_width; ++c) {
       ExecutorContext& ctx = *contexts_[c];
       if (thread_per_task) ctx.begin_new_thread();
       Task& t = tasks[next + c];
       SIMPROF_ASSERT(static_cast<bool>(t.body), "task without a body");
+      const std::uint64_t task_start_cycles =
+          tracing ? ctx.counters().cycles : 0;
       t.body(ctx);
+      if (tracing) {
+        obs::trace_virtual_span(
+            name + "/task", task_start_cycles, ctx.counters().cycles, c,
+            {{"task", next + c}, {"wave", wave}, {"stage", stage_name}});
+      }
     }
     next += wave_width;
+    ++wave;
   }
   memory_.set_llc_pressure(1);
+  if (tracing) {
+    obs::trace_virtual_span(name, stage_start_cycles,
+                            contexts_[cfg_.profiled_core]->counters().cycles,
+                            obs::kVirtualStageLane,
+                            {{"tasks", tasks.size()}, {"waves", wave}});
+  }
 }
 
 void Cluster::finish() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/cluster.h"
+#include "obs/obs.h"
 #include "support/assert.h"
 
 namespace simprof::exec {
@@ -113,6 +114,11 @@ void ExecutorContext::maybe_fire_boundaries() {
     if (rng_.next_bool(cfg.migration_prob_per_unit)) {
       cluster_.memory().migrate(core_);
       ++counters_.migrations;
+      static obs::Counter& migrations =
+          obs::metrics().counter("exec.migrations");
+      migrations.increment();
+      obs::trace_virtual_instant("migration", counters_.cycles, core_,
+                                 {{"instructions", ip}});
     }
   }
 }

@@ -25,6 +25,7 @@
 #include "exec/cluster.h"
 #include "exec/kernels.h"
 #include "jvm/call_stack.h"
+#include "obs/obs.h"
 #include "support/assert.h"
 
 namespace simprof::hadoop {
@@ -239,6 +240,11 @@ class MapReduceJob {
                       exec::ExecutorContext& ctx) {
     jvm::MethodScope spill_scope(ctx.stack(), methods_.sort_and_spill);
     ++total_spills_;
+    static obs::Counter& spill_count = obs::metrics().counter("hadoop.spills");
+    spill_count.increment();
+    const bool tracing = obs::trace_enabled();
+    const std::uint64_t spill_start_cycles =
+        tracing ? ctx.counters().cycles : 0;
     // QuickSort over the buffered key-value index — recursive partition
     // passes with data-dependent sizes (Figure 15's high-CoV sort phase).
     {
@@ -288,6 +294,12 @@ class MapReduceJob {
                            /*compressed=*/false, cfg_.costs);
       }
     }
+    if (tracing) {
+      obs::trace_virtual_span("hadoop.sort_and_spill", spill_start_cycles,
+                              ctx.counters().cycles, ctx.core(),
+                              {{"pairs", run.size()},
+                               {"combined", static_cast<bool>(spec_.combine_fn)}});
+    }
     spills.push_back(std::move(run));
     buffer.clear();
     buffer_bytes = 0;
@@ -323,19 +335,32 @@ class MapReduceJob {
     const auto total_bytes = static_cast<std::uint64_t>(
         spec_.pair_bytes * static_cast<double>(total));
 
+    const bool tracing = obs::trace_enabled();
+    static obs::Counter& shuffle_bytes =
+        obs::metrics().counter("hadoop.shuffle_bytes");
+    shuffle_bytes.add(total_bytes);
     // Shuffle fetch: stream every segment (decompression cost folded into
     // the scan rate when compression is on).
     {
       jvm::MethodScope sh(ctx.stack(), methods_.shuffle_fetch);
+      const std::uint64_t start_cycles = tracing ? ctx.counters().cycles : 0;
       const double rate = cfg_.costs.scan_instrs_per_byte *
                           (cfg_.compress_map_output ? 1.6 : 1.0);
       exec::scan_region(ctx, reduce_region_, total_bytes, rate);
+      if (tracing) {
+        obs::trace_virtual_span(
+            "hadoop.shuffle_fetch", start_cycles, ctx.counters().cycles,
+            ctx.core(),
+            {{"reducer", r}, {"bytes", total_bytes},
+             {"segments", segments_[r].size()}});
+      }
     }
     // Merge the sorted segments.
     std::vector<Pair> all;
     all.reserve(total);
     {
       jvm::MethodScope mg(ctx.stack(), methods_.merger_merge);
+      const std::uint64_t start_cycles = tracing ? ctx.counters().cycles : 0;
       for (const auto& seg : segments_[r]) {
         all.insert(all.end(), seg.pairs.begin(), seg.pairs.end());
       }
@@ -347,6 +372,12 @@ class MapReduceJob {
                        static_cast<std::uint32_t>(
                            std::max<std::size_t>(segments_[r].size(), 1)),
                        cfg_.costs);
+      if (tracing) {
+        obs::trace_virtual_span(
+            "hadoop.merge", start_cycles, ctx.counters().cycles, ctx.core(),
+            {{"reducer", r}, {"pairs", total},
+             {"runs", segments_[r].size()}});
+      }
     }
     // Reduce per key group; write output to HDFS.
     std::vector<Pair> out;

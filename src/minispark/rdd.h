@@ -28,6 +28,7 @@
 #include "exec/pipeline.h"
 #include "jvm/call_stack.h"
 #include "minispark/spark_context.h"
+#include "obs/obs.h"
 #include "support/assert.h"
 
 namespace simprof::spark {
@@ -421,6 +422,9 @@ class ReduceByKeyRDD final : public RDD<std::pair<K, V>>, public ShuffleDep {
         cost_.record_bytes * static_cast<double>(total));
     const auto read_instrs = static_cast<std::uint64_t>(
         costs.scan_instrs_per_byte * static_cast<double>(bytes));
+    static obs::Counter& read_bytes_metric =
+        obs::metrics().counter("spark.shuffle_read_bytes");
+    read_bytes_metric.add(bytes);
     const std::uint64_t read_base = shuffle_region_ + p * region_stride_;
     if (b != nullptr) {
       b->add(m.shuffle_read, read_instrs,
@@ -522,6 +526,9 @@ class ReduceByKeyRDD final : public RDD<std::pair<K, V>>, public ShuffleDep {
     // Partition and write the shuffle output.
     {
       jvm::MethodScope write(ctx.stack(), m.shuffle_write);
+      const bool tracing = obs::trace_enabled();
+      const std::uint64_t write_start_cycles =
+          tracing ? ctx.counters().cycles : 0;
       std::vector<std::vector<Pair>> parts(partitions_);
       auto route = [&](const Pair& kv) {
         parts[detail::hash_to_partition(key_hash_(kv.first), partitions_)]
@@ -536,6 +543,9 @@ class ReduceByKeyRDD final : public RDD<std::pair<K, V>>, public ShuffleDep {
       for (const auto& b : parts) out_records += b.size();
       const auto bytes = static_cast<std::uint64_t>(
           cost_.record_bytes * static_cast<double>(out_records));
+      static obs::Counter& write_bytes_metric =
+          obs::metrics().counter("spark.shuffle_write_bytes");
+      write_bytes_metric.add(bytes);
       {
         jvm::MethodScope ser(ctx.stack(), m.serialize);
         exec::write_stream(ctx, map_region_ + (1ULL << 25), bytes,
@@ -543,6 +553,12 @@ class ReduceByKeyRDD final : public RDD<std::pair<K, V>>, public ShuffleDep {
       }
       for (std::size_t r = 0; r < partitions_; ++r) {
         if (!parts[r].empty()) buckets_[r].push_back(std::move(parts[r]));
+      }
+      if (tracing) {
+        obs::trace_virtual_span(
+            "spark.shuffle_write", write_start_cycles, ctx.counters().cycles,
+            ctx.core(),
+            {{"partition", p}, {"records", out_records}, {"bytes", bytes}});
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "jvm/call_stack.h"
+#include "obs/obs.h"
 
 namespace simprof::spark {
 
@@ -24,6 +25,11 @@ void SparkContext::run_stage(const std::string& stage_name, bool shuffle_map,
           body(ctx);
         }});
   }
+  static obs::Counter& stage_count = obs::metrics().counter("spark.stages");
+  static obs::Counter& shuffle_stage_count =
+      obs::metrics().counter("spark.shuffle_stages");
+  stage_count.increment();
+  if (shuffle_map) shuffle_stage_count.increment();
   cluster_.run_stage(stage_name, std::move(wrapped), /*thread_per_task=*/false);
   ++stages_run_;
 }

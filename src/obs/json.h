@@ -1,0 +1,25 @@
+// Minimal JSON emission helpers shared by the metrics exporter and the
+// Chrome-trace writer. Emission only — the obs layer never parses JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace simprof::obs {
+
+/// Append `s` to `out` as a JSON string literal (quotes included), escaping
+/// control characters, quotes and backslashes.
+void json_append_quoted(std::string& out, std::string_view s);
+
+/// `s` as a JSON string literal.
+std::string json_quote(std::string_view s);
+
+/// A double as a JSON number. NaN/±inf are not representable in JSON and
+/// are emitted as 0 (they never arise from well-formed instrumentation).
+std::string json_number(double v);
+
+std::string json_number(std::uint64_t v);
+std::string json_number(std::int64_t v);
+
+}  // namespace simprof::obs

@@ -1,0 +1,124 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace simprof::obs {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized (env not read yet)
+
+/// Emission is serialized so concurrent lines never interleave.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::ostream*& sink_slot() {
+  static std::ostream* sink = nullptr;  // nullptr → stderr
+  return sink;
+}
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+LogLevel init_level_from_env() {
+  if (const char* env = std::getenv("SIMPROF_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::kInfo;
+}
+
+int level_as_int() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(init_level_from_env());
+    int expected = -1;
+    // First caller wins; a concurrent set_log_level is preserved.
+    g_level.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+    v = g_level.load(std::memory_order_relaxed);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel log_level() { return static_cast<LogLevel>(level_as_int()); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= level_as_int();
+}
+
+void set_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = sink;
+}
+
+std::uint32_t this_thread_tag() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tag =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+std::uint32_t process_rank() {
+  static const std::uint32_t rank = [] {
+    if (const char* env = std::getenv("SIMPROF_RANK")) {
+      return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+    }
+    return 0u;
+  }();
+  return rank;
+}
+
+LogMessage::LogMessage(LogLevel level) : level_(level) {}
+
+LogMessage::~LogMessage() {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - process_start())
+                           .count();
+  char header[64];
+  std::snprintf(header, sizeof(header), "[+%lld.%03llds %s r%u/t%u] ",
+                static_cast<long long>(elapsed / 1000),
+                static_cast<long long>(elapsed % 1000),
+                std::string(to_string(level_)).c_str(), process_rank(),
+                this_thread_tag());
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::ostream& out = sink_slot() != nullptr ? *sink_slot() : std::cerr;
+  out << header << stream_.str() << '\n';
+  out.flush();
+}
+
+}  // namespace simprof::obs

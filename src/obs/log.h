@@ -1,0 +1,83 @@
+// Leveled, thread-safe structured logging for the SimProf pipeline.
+//
+//   SIMPROF_LOG(kInfo) << "lab: cache hit path=" << path;
+//
+// The macro evaluates its stream expression only when the level is enabled
+// (a single relaxed atomic load when disabled — zero formatting cost), so
+// log statements are safe on warm paths. Every line is tagged with elapsed
+// time since process start, the level, and a rank/thread tag (`r0/t3`):
+// ranks distinguish processes in multi-process runs (SIMPROF_RANK), thread
+// ids are small sequential ids assigned on first use.
+//
+// Level control: set_log_level() (the CLI's --log-level flag) or the
+// SIMPROF_LOG_LEVEL environment variable (trace|debug|info|warn|error|off),
+// read once at first use. Default: info.
+//
+// Determinism contract: logging never reads RNG state and never feeds back
+// into any computation — enabling it cannot perturb results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string_view>
+
+namespace simprof::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// "trace" → kTrace, … Case-sensitive; nullopt on unknown names.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+std::string_view to_string(LogLevel level);
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// True when a message at `level` would be emitted. One relaxed atomic load.
+bool log_enabled(LogLevel level);
+
+/// Redirect log output (default: stderr). Pass nullptr to restore stderr.
+/// The sink must outlive all logging; intended for tests.
+void set_log_sink(std::ostream* sink);
+
+/// Small sequential id for the calling thread (also tags trace events).
+std::uint32_t this_thread_tag();
+
+/// Process rank for the `rN` tag: SIMPROF_RANK env var, default 0.
+std::uint32_t process_rank();
+
+/// One in-flight log line; emits on destruction. Use via SIMPROF_LOG.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Lets the macro's ternary discard the ostream& as void.
+struct LogVoidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace simprof::obs
+
+#define SIMPROF_LOG(level)                                               \
+  !::simprof::obs::log_enabled(::simprof::obs::LogLevel::level)          \
+      ? (void)0                                                          \
+      : ::simprof::obs::LogVoidify() &                                   \
+            ::simprof::obs::LogMessage(::simprof::obs::LogLevel::level)  \
+                .stream()

@@ -1,0 +1,131 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms for
+// the profiling pipeline.
+//
+// Hot-path design: counter increments and histogram observations are
+// lock-free — each metric keeps kMetricShards cache-line-aligned atomic
+// cells and a thread updates the cell indexed by its thread tag, so threads
+// on different shards never contend. All sharded state is integral, so the
+// snapshot merge (a relaxed-load sum over shards in shard order) yields the
+// same totals for any thread count and any interleaving — the merge is
+// deterministic by construction. Gauges are single atomic doubles
+// (set/add), intended for single-writer summary values.
+//
+// Registration (metrics().counter("name")) takes a mutex; hot paths hoist
+// the returned handle into a local/static reference.
+//
+// Determinism contract: metrics never read RNG state and never feed back
+// into any computation — collection cannot perturb results.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simprof::obs {
+
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Shard index for the calling thread (thread tag mod kMetricShards).
+std::size_t this_thread_shard();
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[this_thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Sum over shards — exact and order-independent (integer adds commute).
+  std::uint64_t value() const noexcept;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void reset() noexcept;
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kMetricShards> cells_;
+  std::string name_;
+};
+
+/// Last-write-wins double (set) with an atomic add. Meant for single-writer
+/// summary values (utilization, sizes); not sharded.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> v_{0.0};
+  std::string name_;
+};
+
+/// Fixed-bucket histogram. A value lands in the first bucket whose upper
+/// bound satisfies v <= bound; values above the last bound land in the
+/// overflow bucket (index bounds.size()). Bucket counts are sharded like
+/// counters, so merged totals are exact for any thread count.
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket totals, length bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  void reset() noexcept;
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::vector<double> bounds_;          // strictly increasing upper bounds
+  std::vector<Cell> cells_;             // (bounds+1) × kMetricShards
+  std::string name_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. Handles are stable for the process lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` must be strictly increasing; on re-lookup of an existing
+  /// histogram the bounds argument is ignored.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Deterministic JSON snapshot: metrics sorted by name, sharded cells
+  /// merged by integer summation.
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+  /// Zero every registered metric (handles stay valid). Test support.
+  void reset();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// The process-wide registry (leaky singleton — safe from static dtors).
+MetricsRegistry& metrics();
+
+}  // namespace simprof::obs

@@ -1,0 +1,268 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace simprof::obs {
+namespace {
+
+constexpr std::uint32_t kWallPid = 1;
+constexpr std::uint32_t kVirtualPid = 2;
+
+/// Hard cap on buffered events; overflow is counted, not collected.
+constexpr std::size_t kMaxEvents = 4u << 20;
+
+struct Event {
+  char phase;  // 'X' complete, 'i' instant
+  std::uint32_t pid;
+  std::uint32_t tid;
+  double ts_us;
+  double dur_us;  // 'X' only
+  std::string name;
+  std::string args_json;  // pre-rendered "{…}" or empty
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_lanes;  // (pid, tid)
+  std::chrono::steady_clock::time_point origin;
+  std::uint64_t dropped = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;  // leaky: usable from static dtors
+  return *s;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - state().origin)
+          .count());
+}
+
+std::string render_args(std::initializer_list<TraceArg> args) {
+  if (args.size() == 0) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) out += ", ";
+    first = false;
+    json_append_quoted(out, a.key);
+    out += ": ";
+    switch (a.kind) {
+      case TraceArg::Kind::kInt: out += json_number(a.i); break;
+      case TraceArg::Kind::kUint: out += json_number(a.u); break;
+      case TraceArg::Kind::kDouble: out += json_number(a.d); break;
+      case TraceArg::Kind::kBool: out += a.b ? "true" : "false"; break;
+      case TraceArg::Kind::kString: json_append_quoted(out, a.s); break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void push_event(Event ev) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.events.size() >= kMaxEvents) {
+    ++s.dropped;
+    return;
+  }
+  s.seen_lanes.emplace(ev.pid, ev.tid);
+  s.events.push_back(std::move(ev));
+}
+
+void append_event_json(std::string& out, const Event& ev) {
+  char buf[64];
+  out += "{\"name\": ";
+  json_append_quoted(out, ev.name);
+  std::snprintf(buf, sizeof(buf), ", \"ph\": \"%c\", \"pid\": %u, \"tid\": %u",
+                ev.phase, ev.pid, ev.tid);
+  out += buf;
+  out += ", \"ts\": " + json_number(ev.ts_us);
+  if (ev.phase == 'X') {
+    out += ", \"dur\": " + json_number(ev.dur_us);
+  } else if (ev.phase == 'i') {
+    out += ", \"s\": \"t\"";
+  }
+  if (!ev.args_json.empty()) out += ", \"args\": " + ev.args_json;
+  out += "}";
+}
+
+void append_metadata_json(std::string& out, std::uint32_t pid,
+                          std::uint32_t tid, const char* what,
+                          const std::string& name) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"%s\", \"ph\": \"M\", \"pid\": %u, \"tid\": %u, "
+                "\"args\": {\"name\": ",
+                what, pid, tid);
+  out += buf;
+  json_append_quoted(out, name);
+  out += "}}";
+}
+
+std::string lane_name(std::uint32_t pid, std::uint32_t tid) {
+  if (pid == kWallPid) return "thread " + std::to_string(tid);
+  if (tid == kVirtualStageLane) return "stages";
+  return "core " + std::to_string(tid);
+}
+
+}  // namespace
+
+bool trace_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void start_tracing() {
+  TraceState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.origin = std::chrono::steady_clock::now();
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.events.clear();
+  s.seen_lanes.clear();
+  s.dropped = 0;
+}
+
+std::string trace_to_json() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](auto&& appender) {
+    out += first ? "  " : ",\n  ";
+    first = false;
+    appender();
+  };
+  for (std::uint32_t pid : {kWallPid, kVirtualPid}) {
+    const std::string pname =
+        pid == kWallPid ? "wall-clock" : "virtual-clock";
+    bool has_lane = false;
+    for (const auto& [lp, lt] : s.seen_lanes) {
+      if (lp != pid) continue;
+      if (!has_lane) {
+        emit([&] { append_metadata_json(out, pid, 0, "process_name", pname); });
+        has_lane = true;
+      }
+      emit([&] {
+        append_metadata_json(out, pid, lt, "thread_name", lane_name(pid, lt));
+      });
+    }
+  }
+  for (const Event& ev : s.events) {
+    emit([&] { append_event_json(out, ev); });
+  }
+  out += "\n]}\n";
+  if (s.dropped > 0) {
+    SIMPROF_LOG(kWarn) << "trace: " << s.dropped
+                       << " events dropped (buffer cap " << kMaxEvents << ")";
+  }
+  return out;
+}
+
+bool write_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SIMPROF_LOG(kError) << "trace: cannot write " << path;
+    return false;
+  }
+  out << trace_to_json();
+  out.flush();
+  if (!out) {
+    SIMPROF_LOG(kError) << "trace: write failed for " << path;
+    return false;
+  }
+  SIMPROF_LOG(kDebug) << "trace: wrote events to " << path;
+  return true;
+}
+
+ObsSpan::ObsSpan(const char* name, std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  armed_ = true;
+  name_ = name;
+  args_json_ = render_args(args);
+  start_ns_ = now_ns();
+}
+
+ObsSpan::~ObsSpan() {
+  if (!armed_) return;
+  const std::uint64_t end_ns = now_ns();
+  Event ev;
+  ev.phase = 'X';
+  ev.pid = kWallPid;
+  ev.tid = this_thread_tag();
+  ev.ts_us = static_cast<double>(start_ns_) / 1000.0;
+  ev.dur_us = static_cast<double>(end_ns - start_ns_) / 1000.0;
+  ev.name = name_;
+  ev.args_json = std::move(args_json_);
+  push_event(std::move(ev));
+}
+
+void trace_instant(const char* name, std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  Event ev;
+  ev.phase = 'i';
+  ev.pid = kWallPid;
+  ev.tid = this_thread_tag();
+  ev.ts_us = static_cast<double>(now_ns()) / 1000.0;
+  ev.dur_us = 0.0;
+  ev.name = name;
+  ev.args_json = render_args(args);
+  push_event(std::move(ev));
+}
+
+void trace_virtual_span(std::string_view name, std::uint64_t start_cycles,
+                        std::uint64_t end_cycles, std::uint32_t vtid,
+                        std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  const double cycles_per_us = kVirtualClockGhz * 1000.0;
+  Event ev;
+  ev.phase = 'X';
+  ev.pid = kVirtualPid;
+  ev.tid = vtid;
+  ev.ts_us = static_cast<double>(start_cycles) / cycles_per_us;
+  ev.dur_us =
+      static_cast<double>(end_cycles - start_cycles) / cycles_per_us;
+  ev.name = std::string(name);
+  ev.args_json = render_args(args);
+  push_event(std::move(ev));
+}
+
+void trace_virtual_instant(std::string_view name, std::uint64_t cycles,
+                           std::uint32_t vtid,
+                           std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  const double cycles_per_us = kVirtualClockGhz * 1000.0;
+  Event ev;
+  ev.phase = 'i';
+  ev.pid = kVirtualPid;
+  ev.tid = vtid;
+  ev.ts_us = static_cast<double>(cycles) / cycles_per_us;
+  ev.dur_us = 0.0;
+  ev.name = std::string(name);
+  ev.args_json = render_args(args);
+  push_event(std::move(ev));
+}
+
+}  // namespace simprof::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.h"
 #include "stats/silhouette.h"
 #include "support/assert.h"
 #include "support/thread_pool.h"
@@ -126,6 +127,9 @@ KMeansResult lloyd(const Matrix& points, std::span<const double> norms,
     prev_inertia = inertia;
   }
   res.centers = std::move(centers);
+  static obs::Histogram& iters = obs::metrics().histogram(
+      "kmeans.lloyd_iterations", {1, 2, 4, 8, 16, 32, 64});
+  iters.observe(static_cast<double>(res.iterations));
   return res;
 }
 
@@ -185,6 +189,10 @@ ChooseKResult choose_k(const Matrix& points, Rng& rng,
   SIMPROF_EXPECTS(!points.empty(), "choose_k on empty matrix");
   const std::size_t max_k =
       std::min<std::size_t>(cfg.max_k, points.rows());
+  obs::ObsSpan sweep_span(
+      "choose_k", {{"points", points.rows()}, {"max_k", max_k}});
+  static obs::Counter& sweeps = obs::metrics().counter("choose_k.sweeps");
+  sweeps.increment();
 
   // One draw of the caller's rng seeds the whole sweep; each k forks a
   // fixed stream from it, so the sweep order (and thread count) cannot
@@ -204,6 +212,7 @@ ChooseKResult choose_k(const Matrix& points, Rng& rng,
       [&](std::size_t, std::size_t b, std::size_t e) {
         for (std::size_t idx = b; idx < e; ++idx) {
           const std::size_t k = idx + 1;
+          obs::ObsSpan k_span("choose_k.k", {{"k", k}});
           const std::uint64_t restart_seed =
               Rng::stream(sweep_seed, k).next_u64();
           KMeansResult r =
@@ -229,6 +238,9 @@ ChooseKResult choose_k(const Matrix& points, Rng& rng,
   }
   out.k = chosen;
   out.clustering = std::move(clusterings[chosen - 1]);
+  SIMPROF_LOG(kDebug) << "choose_k: k=" << out.k << " of max_k=" << max_k
+                      << " score=" << out.scores[out.k - 1]
+                      << " best=" << best;
   return out;
 }
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
 #include "support/assert.h"
 
 namespace simprof::support {
@@ -47,29 +49,40 @@ struct ThreadPool::Impl {
   bool stopping = false;
   std::vector<std::thread> threads;
 
-  void run_chunks(const ChunkFn& f) {
+  /// Returns the number of chunks this thread won in the race.
+  std::size_t run_chunks(const ChunkFn& f) {
+    std::size_t won = 0;
     for (;;) {
       const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= chunks) return;
+      if (c >= chunks) return won;
       const std::size_t b = begin + c * grain;
       const std::size_t e = std::min(b + grain, end);
       try {
         f(c, b, e);
+        ++won;
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);
         if (!error) error = std::current_exception();
         // Skip the remaining chunks so the failed job finishes promptly.
         next_chunk.store(chunks, std::memory_order_relaxed);
-        return;
+        return won;
       }
     }
   }
 
   void worker(std::size_t index) {
+    static obs::Counter& helper_chunks =
+        obs::metrics().counter("pool.chunks.helper");
+    static obs::Counter& idle_ns = obs::metrics().counter("pool.idle_ns");
     std::unique_lock<std::mutex> lock(mu);
     std::uint64_t seen = 0;
     for (;;) {
+      const auto idle_start = std::chrono::steady_clock::now();
       work_cv.wait(lock, [&] { return stopping || generation != seen; });
+      idle_ns.add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - idle_start)
+              .count()));
       if (stopping) return;
       seen = generation;
       // A worker that wakes after the job already drained (fn reset) or that
@@ -79,7 +92,7 @@ struct ThreadPool::Impl {
       ++active;
       lock.unlock();
       tls_inside_pool_worker = true;
-      run_chunks(*job);
+      helper_chunks.add(run_chunks(*job));
       tls_inside_pool_worker = false;
       lock.lock();
       if (--active == 0) done_cv.notify_all();
@@ -119,12 +132,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // poolless pool. Identical chunk order keeps results bit-identical.
   if (parallelism <= 1 || chunks == 1 || workers() == 0 ||
       tls_inside_pool_worker) {
+    static obs::Counter& inline_jobs =
+        obs::metrics().counter("pool.inline_jobs");
+    inline_jobs.increment();
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t b = begin + c * grain;
       fn(c, b, std::min(b + grain, end));
     }
     return;
   }
+
+  static obs::Counter& jobs = obs::metrics().counter("pool.jobs");
+  static obs::Counter& total_chunks = obs::metrics().counter("pool.chunks");
+  static obs::Counter& caller_chunks =
+      obs::metrics().counter("pool.chunks.caller");
+  const std::size_t helpers = std::min(workers(), parallelism - 1);
+  jobs.increment();
+  total_chunks.add(chunks);
+  obs::ObsSpan span("pool.parallel_for",
+                    {{"chunks", chunks}, {"grain", grain}, {"helpers", helpers}});
 
   Impl& im = *impl_;
   std::unique_lock<std::mutex> lock(im.mu);
@@ -135,7 +161,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   im.end = end;
   im.grain = grain;
   im.chunks = chunks;
-  im.helper_limit = std::min(workers(), parallelism - 1);
+  im.helper_limit = helpers;
   im.next_chunk.store(0, std::memory_order_relaxed);
   im.error = nullptr;
   ++im.generation;
@@ -146,7 +172,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // inside the pool while doing so, so nested parallel_for calls from its
   // chunks take the inline path instead of publishing a second job.
   tls_inside_pool_worker = true;
-  im.run_chunks(fn);
+  caller_chunks.add(im.run_chunks(fn));
   tls_inside_pool_worker = false;
 
   lock.lock();

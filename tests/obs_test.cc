@@ -1,0 +1,573 @@
+// Observability layer tests: log gating/format, sharded metric merge
+// determinism, histogram bucket edges, trace-JSON well-formedness (parsed
+// by a mini JSON validator in-test), and the zero-perturbation contract —
+// the pipeline's results are bit-identical with tracing on vs off.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/lab.h"
+#include "core/phase.h"
+#include "core/sampling.h"
+#include "obs/obs.h"
+#include "test_util.h"
+
+namespace simprof::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mini JSON validator: recursive descent over the full value grammar.
+// Accepts exactly one value followed by whitespace. Enough to assert that
+// the trace / metrics emitters produce well-formed JSON without a library.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool json_well_formed(std::string_view text) {
+  return JsonValidator(text).valid();
+}
+
+TEST(JsonValidatorTest, SanityChecks) {
+  EXPECT_TRUE(json_well_formed(R"({"a": [1, 2.5, -3e4], "b": "x\n", "c": {}})"));
+  EXPECT_TRUE(json_well_formed("[]"));
+  EXPECT_FALSE(json_well_formed(R"({"a": })"));
+  EXPECT_FALSE(json_well_formed(R"({"a": 1,})"));
+  EXPECT_FALSE(json_well_formed(R"("unterminated)"));
+  EXPECT_FALSE(json_well_formed("{} trailing"));
+}
+
+// ---------------------------------------------------------------------------
+// Logging.
+
+/// Restores level + sink on scope exit so tests can't leak configuration.
+class LogGuard {
+ public:
+  LogGuard() : saved_(log_level()) {}
+  ~LogGuard() {
+    set_log_sink(nullptr);
+    set_log_level(saved_);
+  }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(to_string(LogLevel::kWarn), "warn");
+}
+
+TEST(LogTest, LevelGating) {
+  LogGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+TEST(LogTest, SuppressedMessageDoesNotEvaluateStream) {
+  LogGuard guard;
+  set_log_level(LogLevel::kWarn);
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  SIMPROF_LOG(kDebug) << touch();
+  EXPECT_EQ(evaluations, 0);
+  SIMPROF_LOG(kError) << touch();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, LineFormatAndSinkRedirect) {
+  LogGuard guard;
+  std::ostringstream sink;
+  set_log_sink(&sink);
+  set_log_level(LogLevel::kInfo);
+
+  SIMPROF_LOG(kDebug) << "hidden";
+  SIMPROF_LOG(kInfo) << "cache hit path=" << 42;
+
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("cache hit path=42"), std::string::npos);
+  // Header: "[+S.mmms LEVEL rR/tT] " — check the stable pieces.
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("info"), std::string::npos);
+  EXPECT_NE(out.find(" r0/t"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(MetricsTest, CounterMergeDeterministicAcrossThreadCounts) {
+  Counter& c = metrics().counter("test.merge_determinism");
+  constexpr std::uint64_t kPerThread = 10'000;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const std::uint64_t before = c.value();
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&c] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(3);
+      });
+    }
+    for (auto& t : pool) t.join();
+    // The merged delta is exact for any thread count / interleaving.
+    EXPECT_EQ(c.value() - before, threads * kPerThread * 3);
+  }
+}
+
+TEST(MetricsTest, HistogramBucketEdges) {
+  Histogram& h = metrics().histogram("test.bucket_edges", {1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+  const auto before = h.bucket_counts();
+  ASSERT_EQ(before.size(), 4u);  // 3 bounds + overflow
+
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (v <= bound is inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(2.0);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(4.001); // overflow
+  h.observe(1e9);   // overflow
+
+  const auto after = h.bucket_counts();
+  EXPECT_EQ(after[0] - before[0], 2u);
+  EXPECT_EQ(after[1] - before[1], 2u);
+  EXPECT_EQ(after[2] - before[2], 1u);
+  EXPECT_EQ(after[3] - before[3], 2u);
+  EXPECT_EQ(h.count(), after[0] + after[1] + after[2] + after[3]);
+}
+
+TEST(MetricsTest, HistogramMergeDeterministicAcrossThreadCounts) {
+  Histogram& h = metrics().histogram("test.hist_merge", {10.0, 100.0});
+  constexpr std::uint64_t kPerThread = 5'000;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const auto before = h.bucket_counts();
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&h] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          h.observe(static_cast<double>(i % 3) * 60.0);  // 0, 60, 120
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    const auto after = h.bucket_counts();
+    // i%3==0 → bucket 0; ==1 → bucket 1; ==2 → overflow. kPerThread divides
+    // evenly by 3? 5000 % 3 = 2, so counts are 1667/1667/1666 per thread.
+    EXPECT_EQ(after[0] - before[0], threads * 1667u);
+    EXPECT_EQ(after[1] - before[1], threads * 1667u);
+    EXPECT_EQ(after[2] - before[2], threads * 1666u);
+  }
+}
+
+TEST(MetricsTest, HistogramRejectsNonIncreasingBounds) {
+  EXPECT_THROW(metrics().histogram("test.bad_bounds_eq", {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(metrics().histogram("test.bad_bounds_dec", {2.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(metrics().histogram("test.bad_bounds_empty", {}),
+               std::invalid_argument);
+}
+
+TEST(MetricsTest, HandlesAreStable) {
+  Counter& a = metrics().counter("test.stable_handle");
+  Counter& b = metrics().counter("test.stable_handle");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = metrics().histogram("test.stable_hist", {1.0, 2.0});
+  Histogram& h2 = metrics().histogram("test.stable_hist", {9.0});  // ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge& g = metrics().gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.75);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(MetricsTest, JsonSnapshotWellFormed) {
+  metrics().counter("test.json \"quoted\\name").increment();
+  metrics().gauge("test.json_gauge").set(0.5);
+  metrics().histogram("test.json_hist", {1.0, 10.0}).observe(3.0);
+  const std::string json = metrics().to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("test.json_hist"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+/// Stops + clears the trace buffer on scope exit.
+struct TraceGuard {
+  TraceGuard() { clear_trace(); }
+  ~TraceGuard() {
+    stop_tracing();
+    clear_trace();
+  }
+};
+
+TEST(TraceTest, DisabledEmittersBufferNothing) {
+  TraceGuard guard;
+  ASSERT_FALSE(trace_enabled());
+  {
+    ObsSpan span("should_not_appear", {{"x", 1}});
+    trace_instant("nor_this");
+    trace_virtual_span("virtual_off", 0, 100, 0);
+  }
+  const std::string json = trace_to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_EQ(json.find("should_not_appear"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(TraceTest, ChromeTraceJsonWellFormedAndComplete) {
+  TraceGuard guard;
+  start_tracing();
+  ASSERT_TRUE(trace_enabled());
+  {
+    ObsSpan outer("outer", {{"count", std::uint64_t{7}},
+                            {"ratio", 0.5},
+                            {"hit", true},
+                            {"path", "a\"b\\c\n"}});
+    ObsSpan inner("inner");
+    trace_instant("tick", {{"n", -3}});
+  }
+  trace_virtual_span("stage/task", 2'000, 6'000, 1, {{"task", 0}});
+  trace_virtual_instant("migration", 4'000, 1, {{"instructions", 123}});
+  stop_tracing();
+
+  const std::string json = trace_to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+
+  // Chrome trace-event envelope plus both timelines' metadata.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("wall-clock"), std::string::npos);
+  EXPECT_NE(json.find("virtual-clock"), std::string::npos);
+
+  // Every emitted event is present; the string arg survived escaping.
+  for (const char* name :
+       {"outer", "inner", "tick", "stage/task", "migration"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(json.find("a\\\"b\\\\c\\n"), std::string::npos);
+
+  // The virtual span lands at cycles / (GHz * 1000) microseconds: start
+  // 2000 cycles @ 2 GHz = 1 µs, duration 4000 cycles = 2 µs.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST(TraceTest, WriteTraceRoundTrip) {
+  TraceGuard guard;
+  start_tracing();
+  { ObsSpan span("file_span"); }
+  stop_tracing();
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("simprof_obs_trace_" + std::to_string(::getpid()) +
+                     ".json");
+  ASSERT_TRUE(write_trace(path.string()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), trace_to_json());
+  EXPECT_TRUE(json_well_formed(buf.str()));
+  std::filesystem::remove(path);
+}
+
+TEST(TraceTest, ClearDropsBufferedEvents) {
+  TraceGuard guard;
+  start_tracing();
+  { ObsSpan span("ephemeral"); }
+  stop_tracing();
+  ASSERT_NE(trace_to_json().find("ephemeral"), std::string::npos);
+  clear_trace();
+  EXPECT_EQ(trace_to_json().find("ephemeral"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-perturbation: results are bit-identical with tracing on vs off.
+
+core::ThreadProfile bit_identity_profile() {
+  using simprof::testing::SyntheticPhase;
+  return simprof::testing::synthetic_profile(
+      {SyntheticPhase{120, 1.0, 0.05, jvm::MethodId{1}},
+       SyntheticPhase{80, 2.5, 0.2, jvm::MethodId{2}},
+       SyntheticPhase{40, 4.0, 0.1, jvm::MethodId{3}}});
+}
+
+void expect_same_model(const core::PhaseModel& x, const core::PhaseModel& y) {
+  ASSERT_EQ(x.k, y.k);
+  EXPECT_EQ(x.labels, y.labels);
+  EXPECT_EQ(x.feature_names, y.feature_names);
+  ASSERT_EQ(x.centers.rows(), y.centers.rows());
+  ASSERT_EQ(x.centers.cols(), y.centers.cols());
+  for (std::size_t r = 0; r < x.centers.rows(); ++r) {
+    for (std::size_t c = 0; c < x.centers.cols(); ++c) {
+      EXPECT_EQ(x.centers.at(r, c), y.centers.at(r, c));  // bitwise, no EPS
+    }
+  }
+  EXPECT_EQ(x.representative_units, y.representative_units);
+}
+
+void expect_same_plan(const core::SamplePlan& x, const core::SamplePlan& y) {
+  ASSERT_EQ(x.points.size(), y.points.size());
+  for (std::size_t i = 0; i < x.points.size(); ++i) {
+    EXPECT_EQ(x.points[i].unit_index, y.points[i].unit_index);
+    EXPECT_EQ(x.points[i].phase, y.points[i].phase);
+    EXPECT_EQ(x.points[i].weight, y.points[i].weight);
+  }
+  EXPECT_EQ(x.allocation, y.allocation);
+  EXPECT_EQ(x.estimated_cpi, y.estimated_cpi);
+  EXPECT_EQ(x.standard_error, y.standard_error);
+}
+
+TEST(BitIdentityTest, PhaseFormationAndSamplingUnperturbedByTracing) {
+  const auto profile = bit_identity_profile();
+
+  // Baseline: tracing off, logging quiet.
+  LogGuard log_guard;
+  std::ostringstream sink;
+  set_log_sink(&sink);
+  ASSERT_FALSE(trace_enabled());
+  const auto model_off = core::form_phases(profile);
+  const auto plan_off = core::simprof_sample(profile, model_off, 25, 7);
+
+  // Same pipeline with tracing armed and verbose logging.
+  TraceGuard trace_guard;
+  set_log_level(LogLevel::kTrace);
+  start_tracing();
+  const auto model_on = core::form_phases(profile);
+  const auto plan_on = core::simprof_sample(profile, model_on, 25, 7);
+  stop_tracing();
+
+  expect_same_model(model_off, model_on);
+  expect_same_plan(plan_off, plan_on);
+
+  // The traced run actually produced span events for the instrumented path.
+  const std::string json = trace_to_json();
+  EXPECT_NE(json.find("phase.form_phases"), std::string::npos);
+  EXPECT_NE(json.find("choose_k"), std::string::npos);
+  EXPECT_NE(json.find("sample.simprof"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Lab cache provenance through the obs layer.
+
+class ScratchDir {
+ public:
+  ScratchDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("simprof_obs_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  const char* c_str() const { return path_.c_str(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(LabProvenanceTest, CacheHitAndMissRecordedInMetricsAndRun) {
+  LogGuard log_guard;
+  std::ostringstream sink;
+  set_log_sink(&sink);
+
+  ScratchDir dir;
+  core::LabConfig cfg;
+  cfg.scale = 0.05;
+  cfg.graph_scale_override = 12;
+  cfg.cache_dir = dir.c_str();
+
+  Counter& hits = metrics().counter("lab.cache_hits");
+  Counter& misses = metrics().counter("lab.cache_misses");
+  const std::uint64_t hits0 = hits.value();
+  const std::uint64_t misses0 = misses.value();
+
+  core::WorkloadLab lab(cfg);
+  const auto first = lab.run("wc_sp");
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_FALSE(first.cache_path.empty());
+  EXPECT_EQ(misses.value() - misses0, 1u);
+  EXPECT_EQ(hits.value() - hits0, 0u);
+  EXPECT_NE(sink.str().find("cache miss"), std::string::npos);
+
+  const auto second = lab.run("wc_sp");
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.cache_path, first.cache_path);
+  EXPECT_EQ(hits.value() - hits0, 1u);
+  EXPECT_EQ(misses.value() - misses0, 1u);
+  EXPECT_NE(sink.str().find("cache hit"), std::string::npos);
+
+  // The cached reload is bit-identical to the fresh profile.
+  ASSERT_EQ(first.profile.num_units(), second.profile.num_units());
+  for (std::size_t u = 0; u < first.profile.num_units(); ++u) {
+    const auto& a = first.profile.units[u];
+    const auto& b = second.profile.units[u];
+    EXPECT_EQ(a.unit_id, b.unit_id);
+    EXPECT_EQ(a.counters.instructions, b.counters.instructions);
+    EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+    EXPECT_EQ(a.methods, b.methods);
+    EXPECT_EQ(a.counts, b.counts);
+  }
+}
+
+}  // namespace
+}  // namespace simprof::obs

@@ -2,20 +2,30 @@
 //
 //   simprof list
 //   simprof profile <workload> [--input NAME] [--scale S] [--seed N]
-//                   [--out FILE] [--threads N]
-//   simprof phases  <profile.sprf> [--threads N]
+//                   [--out FILE]
+//   simprof phases  <profile.sprf>
 //   simprof sample  <profile.sprf> [-n N] [--technique simprof|srs|second|
-//                   code|systematic|simprof-sys] [--seed N] [--threads N]
+//                   code|systematic|simprof-sys] [--seed N]
 //   simprof size    <profile.sprf> [--error 0.05] [--confidence 99.7]
-//   simprof sensitivity <workload> [--train NAME] [--scale S] [--threads N]
+//   simprof sensitivity <workload> [--train NAME] [--scale S]
 //
-// --threads N sets the worker count for the parallel phase-formation engine
-// (default: hardware_concurrency). Results are bit-identical for any N.
+// Global flags (any subcommand):
+//   --threads N       worker count for the parallel phase-formation engine
+//                     (default: hardware_concurrency; results bit-identical
+//                     for any N)
+//   --log-level L     trace|debug|info|warn|error|off (default: info, or
+//                     $SIMPROF_LOG_LEVEL)
+//   --metrics-out F   write a JSON metrics snapshot on exit
+//   --trace-out F     collect Chrome trace events (load in Perfetto /
+//                     chrome://tracing) and write them on exit
+//   --help, -h        this help (or per-subcommand usage)
 //
 // `profile` runs a Table I workload on the simulated cluster and writes the
 // thread profile; the analysis subcommands operate on saved profiles, so a
 // profile collected once can be explored offline — the same split as the
 // real tool's agent/analyzer.
+#include <cctype>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,6 +38,7 @@
 #include "core/sampling.h"
 #include "core/sensitivity.h"
 #include "data/catalog.h"
+#include "obs/obs.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
 #include "workloads/workloads.h"
@@ -36,32 +47,189 @@ namespace {
 
 using namespace simprof;
 
+struct FlagSpec {
+  std::string name;    // without leading dashes; "n" doubles as "-n"
+  std::string value;   // metavariable shown in help; empty → boolean flag
+  std::string help;
+};
+
+const std::vector<FlagSpec> kGlobalFlags = {
+    {"threads", "N", "phase-formation worker threads (0 = hardware)"},
+    {"log-level", "LEVEL", "trace|debug|info|warn|error|off (default info)"},
+    {"metrics-out", "FILE", "write a JSON metrics snapshot on exit"},
+    {"trace-out", "FILE", "write Chrome trace events (Perfetto) on exit"},
+    {"help", "", "show this help"},
+};
+
+struct CommandSpec {
+  std::string name;
+  std::string positional;  // e.g. "<workload>"; empty → none
+  std::string summary;
+  std::vector<FlagSpec> flags;
+};
+
+const std::vector<CommandSpec> kCommands = {
+    {"list", "", "list Table I workloads and Table II graph inputs", {}},
+    {"profile",
+     "<workload>",
+     "run a workload under the thread profiler, write <name>.sprf",
+     {{"input", "NAME", "Table II graph input (default Google)"},
+      {"scale", "S", "workload scale factor (default 1.0)"},
+      {"seed", "N", "simulation seed (default 42)"},
+      {"out", "FILE", "output profile path"}}},
+    {"phases",
+     "<profile.sprf>",
+     "form phases from a saved profile and print the phase table",
+     {}},
+    {"sample",
+     "<profile.sprf>",
+     "draw simulation points with a sampling technique",
+     {{"n", "N", "sample size (default 20)"},
+      {"technique", "T",
+       "simprof|srs|second|code|systematic|simprof-sys (default simprof)"},
+      {"seed", "N", "sampling seed (default 1)"}}},
+    {"size",
+     "<profile.sprf>",
+     "required sample size for a target error bound",
+     {{"error", "E", "relative error margin (default 0.05)"},
+      {"confidence", "PCT", "confidence level: 90|95|99|99.7 (default 99.7)"}}},
+    {"sensitivity",
+     "<workload>",
+     "train on one input, test phase sensitivity across the rest",
+     {{"train", "NAME", "training graph input (default Google)"},
+      {"scale", "S", "workload scale factor (default 1.0)"},
+      {"seed", "N", "simulation seed (default 42)"}}},
+};
+
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;
+  bool help = false;
 
+  bool has(const std::string& key) const { return options.count(key) > 0; }
   std::string opt(const std::string& key, const std::string& fallback) const {
     auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
   }
 };
 
-Args parse(int argc, char** argv) {
-  Args args;
+const CommandSpec* find_command(const std::string& name) {
+  for (const auto& c : kCommands) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void print_flag(std::ostream& os, const FlagSpec& f) {
+  std::string left = "  --" + f.name;
+  if (f.name.size() == 1) left += ", -" + f.name;
+  if (!f.value.empty()) left += " " + f.value;
+  os << left;
+  for (std::size_t pad = left.size(); pad < 26; ++pad) os << ' ';
+  os << f.help << '\n';
+}
+
+void print_usage(std::ostream& os) {
+  os << "simprof — sampling framework for data-analytic workloads\n\n"
+        "usage: simprof <subcommand> [flags]\n\nsubcommands:\n";
+  for (const auto& c : kCommands) {
+    std::string left = "  " + c.name + " " + c.positional;
+    os << left;
+    for (std::size_t pad = left.size(); pad < 28; ++pad) os << ' ';
+    os << c.summary << '\n';
+  }
+  os << "\nglobal flags:\n";
+  for (const auto& f : kGlobalFlags) print_flag(os, f);
+  os << "\nrun `simprof <subcommand> --help` for per-subcommand flags.\n";
+}
+
+void print_command_usage(std::ostream& os, const CommandSpec& cmd) {
+  os << "usage: simprof " << cmd.name;
+  if (!cmd.positional.empty()) os << ' ' << cmd.positional;
+  for (const auto& f : cmd.flags) {
+    os << " [--" << f.name << (f.value.empty() ? "" : " " + f.value) << ']';
+  }
+  os << "\n\n" << cmd.summary << "\n";
+  if (!cmd.flags.empty()) {
+    os << "\nflags:\n";
+    for (const auto& f : cmd.flags) print_flag(os, f);
+  }
+  os << "\nglobal flags:\n";
+  for (const auto& f : kGlobalFlags) print_flag(os, f);
+}
+
+const FlagSpec* find_flag(const CommandSpec& cmd, const std::string& key) {
+  for (const auto& f : cmd.flags) {
+    if (f.name == key) return &f;
+  }
+  for (const auto& f : kGlobalFlags) {
+    if (f.name == key) return &f;
+  }
+  return nullptr;
+}
+
+/// Parse argv[2..] against the subcommand's flag spec. Returns false (after
+/// printing a diagnostic) on an unknown flag or a flag missing its value.
+bool parse(const CommandSpec& cmd, int argc, char** argv, Args& args) {
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--", 0) == 0 || (a.size() == 2 && a[0] == '-')) {
-      const std::string key = a.rfind("--", 0) == 0 ? a.substr(2) : a.substr(1);
-      if (i + 1 < argc) {
-        args.options[key] = argv[++i];
-      } else {
-        args.options[key] = "";
-      }
-    } else {
+    if (a == "-h" || a == "--help") {
+      args.help = true;
+      continue;
+    }
+    const bool long_flag = a.rfind("--", 0) == 0;
+    const bool short_flag = !long_flag && a.size() == 2 && a[0] == '-' &&
+                            std::isalpha(static_cast<unsigned char>(a[1]));
+    if (!long_flag && !short_flag) {
       args.positional.push_back(a);
+      continue;
+    }
+    std::string key = long_flag ? a.substr(2) : a.substr(1);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      inline_value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      has_inline = true;
+    }
+    const FlagSpec* spec = find_flag(cmd, key);
+    if (spec == nullptr) {
+      std::cerr << "error: unknown flag '" << a << "' for `simprof "
+                << cmd.name << "`\nvalid flags:";
+      for (const auto& f : cmd.flags) std::cerr << " --" << f.name;
+      for (const auto& f : kGlobalFlags) std::cerr << " --" << f.name;
+      std::cerr << "\nrun `simprof " << cmd.name << " --help` for details.\n";
+      return false;
+    }
+    if (spec->value.empty()) {  // boolean flag
+      args.options[key] = "1";
+      continue;
+    }
+    if (has_inline) {
+      args.options[key] = inline_value;
+    } else if (i + 1 < argc) {
+      args.options[key] = argv[++i];
+    } else {
+      std::cerr << "error: flag '--" << key << "' expects a value ("
+                << spec->value << ")\n";
+      return false;
     }
   }
-  return args;
+  return true;
+}
+
+/// Confidence percentage → normal z-score for the common levels.
+bool confidence_to_z(double pct, double& z) {
+  struct Level { double pct, z; };
+  static constexpr Level kLevels[] = {
+      {90.0, 1.645}, {95.0, 1.960}, {99.0, 2.576}, {99.7, 3.0}};
+  for (const auto& l : kLevels) {
+    if (std::abs(pct - l.pct) < 0.05) {
+      z = l.z;
+      return true;
+    }
+  }
+  return false;
 }
 
 core::ThreadProfile load_profile(const std::string& path) {
@@ -88,11 +256,6 @@ int cmd_list() {
 }
 
 int cmd_profile(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: simprof profile <workload> [--input NAME] "
-                 "[--scale S] [--seed N] [--out FILE] [--threads N]\n";
-    return 2;
-  }
   const std::string workload = args.positional[0];
   core::LabConfig cfg;
   cfg.scale = std::stod(args.opt("scale", "1.0"));
@@ -115,10 +278,6 @@ int cmd_profile(const Args& args) {
 }
 
 int cmd_phases(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: simprof phases <profile.sprf> [--threads N]\n";
-    return 2;
-  }
   const auto profile = load_profile(args.positional[0]);
   const auto model = core::form_phases(profile);
   const auto cov = core::cov_summary(profile, model);
@@ -150,11 +309,6 @@ int cmd_phases(const Args& args) {
 }
 
 int cmd_sample(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: simprof sample <profile.sprf> [-n N] "
-                 "[--technique T] [--seed N] [--threads N]\n";
-    return 2;
-  }
   const auto profile = load_profile(args.positional[0]);
   const auto n = static_cast<std::size_t>(std::stoul(args.opt("n", "20")));
   const auto seed = std::stoull(args.opt("seed", "1"));
@@ -176,7 +330,8 @@ int cmd_sample(const Args& args) {
                       : core::simprof_systematic_sample(profile, model, n,
                                                         seed));
   } else {
-    std::cerr << "unknown technique: " << tech << '\n';
+    std::cerr << "error: unknown technique '" << tech
+              << "' (simprof|srs|second|code|systematic|simprof-sys)\n";
     return 2;
   }
 
@@ -197,17 +352,19 @@ int cmd_sample(const Args& args) {
 }
 
 int cmd_size(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: simprof size <profile.sprf> [--error 0.05]\n";
-    return 2;
-  }
   const auto profile = load_profile(args.positional[0]);
   const auto model = core::form_phases(profile);
   const double err = std::stod(args.opt("error", "0.05"));
-  const auto n = core::required_sample_size(model, err);
-  std::cout << "units for " << Table::pct(err, 0)
-            << " error at 99.7% confidence: " << n << " of "
-            << profile.num_units() << " ("
+  const double conf = std::stod(args.opt("confidence", "99.7"));
+  double z = 3.0;
+  if (!confidence_to_z(conf, z)) {
+    std::cerr << "error: --confidence must be one of 90, 95, 99, 99.7 (got "
+              << conf << ")\n";
+    return 2;
+  }
+  const auto n = core::required_sample_size(model, err, z);
+  std::cout << "units for " << Table::pct(err, 0) << " error at " << conf
+            << "% confidence: " << n << " of " << profile.num_units() << " ("
             << Table::pct(static_cast<double>(n) /
                           static_cast<double>(profile.num_units()))
             << " of the run)\n";
@@ -215,14 +372,10 @@ int cmd_size(const Args& args) {
 }
 
 int cmd_sensitivity(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: simprof sensitivity <workload> [--train NAME] "
-                 "[--scale S] [--threads N]\n";
-    return 2;
-  }
   const std::string workload = args.positional[0];
   core::LabConfig cfg;
   cfg.scale = std::stod(args.opt("scale", "1.0"));
+  cfg.seed = std::stoull(args.opt("seed", "42"));
   core::WorkloadLab lab(cfg);
   const std::string train_name = args.opt("train", "Google");
   const auto train = lab.run(workload, train_name);
@@ -248,17 +401,80 @@ int cmd_sensitivity(const Args& args) {
   return 0;
 }
 
+/// Applies the observability flags at startup and flushes the requested
+/// outputs on destruction (normal exit and error paths alike).
+class ObsFlags {
+ public:
+  bool apply(const Args& args) {
+    if (const std::string l = args.opt("log-level", ""); !l.empty()) {
+      const auto level = obs::parse_log_level(l);
+      if (!level) {
+        std::cerr << "error: --log-level must be "
+                     "trace|debug|info|warn|error|off (got '"
+                  << l << "')\n";
+        return false;
+      }
+      obs::set_log_level(*level);
+    }
+    metrics_out_ = args.opt("metrics-out", "");
+    trace_out_ = args.opt("trace-out", "");
+    if (!trace_out_.empty()) obs::start_tracing();
+    return true;
+  }
+
+  ~ObsFlags() {
+    if (!trace_out_.empty()) {
+      obs::stop_tracing();
+      obs::write_trace(trace_out_);
+      std::cerr << "wrote trace to " << trace_out_
+                << " (load in Perfetto or chrome://tracing)\n";
+    }
+    if (!metrics_out_.empty()) {
+      obs::metrics().write_json(metrics_out_);
+      std::cerr << "wrote metrics to " << metrics_out_ << '\n';
+    }
+  }
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "simprof — sampling framework for data-analytic workloads\n"
-                 "subcommands: list, profile, phases, sample, size, "
-                 "sensitivity\n";
+    print_usage(std::cerr);
     return 2;
   }
-  const std::string cmd = argv[1];
-  const Args args = parse(argc, argv);
+  const std::string cmd_name = argv[1];
+  if (cmd_name == "--help" || cmd_name == "-h" || cmd_name == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+  const CommandSpec* cmd = find_command(cmd_name);
+  if (cmd == nullptr) {
+    std::cerr << "error: unknown subcommand '" << cmd_name
+              << "'\nsubcommands:";
+    for (const auto& c : kCommands) std::cerr << ' ' << c.name;
+    std::cerr << "\nrun `simprof --help` for details.\n";
+    return 2;
+  }
+  Args args;
+  if (!parse(*cmd, argc, argv, args)) return 2;
+  if (args.help) {
+    print_command_usage(std::cout, *cmd);
+    return 0;
+  }
+  if (!cmd->positional.empty() && args.positional.empty()) {
+    std::cerr << "error: `simprof " << cmd->name << "` needs "
+              << cmd->positional << '\n';
+    print_command_usage(std::cerr, *cmd);
+    return 2;
+  }
+
+  ObsFlags obs_flags;
+  if (!obs_flags.apply(args)) return 2;
   try {
     // Global: --threads N caps the phase-formation thread pool for every
     // subcommand. Output is bit-identical regardless of the value.
@@ -271,14 +487,13 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    if (cmd == "list") return cmd_list();
-    if (cmd == "profile") return cmd_profile(args);
-    if (cmd == "phases") return cmd_phases(args);
-    if (cmd == "sample") return cmd_sample(args);
-    if (cmd == "size") return cmd_size(args);
-    if (cmd == "sensitivity") return cmd_sensitivity(args);
-    std::cerr << "unknown subcommand: " << cmd << '\n';
-    return 2;
+    if (cmd->name == "list") return cmd_list();
+    if (cmd->name == "profile") return cmd_profile(args);
+    if (cmd->name == "phases") return cmd_phases(args);
+    if (cmd->name == "sample") return cmd_sample(args);
+    if (cmd->name == "size") return cmd_size(args);
+    if (cmd->name == "sensitivity") return cmd_sensitivity(args);
+    return 2;  // unreachable: find_command validated the name
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
