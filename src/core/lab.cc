@@ -1,5 +1,8 @@
 #include "core/lab.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +11,7 @@
 
 #include "obs/obs.h"
 #include "support/assert.h"
+#include "support/serialize.h"
 
 namespace simprof::core {
 
@@ -48,20 +52,33 @@ LabRun WorkloadLab::run(const std::string& workload_name,
                         const std::string& graph_input) {
   static obs::Counter& hits = obs::metrics().counter("lab.cache_hits");
   static obs::Counter& misses = obs::metrics().counter("lab.cache_misses");
+  static obs::Counter& corrupt = obs::metrics().counter("lab.cache_corrupt");
   const std::string path = cache_path(workload_name, graph_input);
   if (cfg_.use_cache) {
     std::ifstream in(path, std::ios::binary);
     if (in) {
-      obs::ObsSpan load_span("lab.cache_load", {{"workload", workload_name}});
-      LabRun r;
-      r.profile = ThreadProfile::load(in);
-      r.from_cache = true;
-      r.cache_path = path;
-      hits.increment();
-      SIMPROF_LOG(kInfo) << "lab: cache hit " << workload_name << "/"
-                         << graph_input << " <- " << path << " ("
-                         << r.profile.num_units() << " units)";
-      return r;
+      // A cache file that fails to decode — bad magic, version skew,
+      // truncation from a killed writer, bit rot — is a cache miss, never a
+      // crash: the oracle pass below regenerates and overwrites it.
+      try {
+        obs::ObsSpan load_span("lab.cache_load", {{"workload", workload_name}});
+        LabRun r;
+        r.profile = ThreadProfile::load(in);
+        r.from_cache = true;
+        r.cache_path = path;
+        hits.increment();
+        SIMPROF_LOG(kInfo) << "lab: cache hit " << workload_name << "/"
+                           << graph_input << " <- " << path << " ("
+                           << r.profile.num_units() << " units)";
+        return r;
+      } catch (const ContractViolation& e) {
+        corrupt.increment();
+        SIMPROF_LOG(kWarn) << "lab: corrupt cache file " << path << " ("
+                           << e.what() << "), treating as miss";
+        in.close();
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+      }
     }
   }
   misses.increment();
@@ -93,13 +110,28 @@ LabRun WorkloadLab::run(const std::string& workload_name,
   if (cfg_.use_cache) {
     obs::ObsSpan save_span("lab.cache_save", {{"workload", workload_name}});
     std::filesystem::create_directories(cache_dir_);
+    // Atomic + durable publish: write the whole profile to a .tmp sibling,
+    // fsync it, then rename into place and fsync the directory. A run killed
+    // mid-write leaves only a .tmp that no reader ever opens — the published
+    // name is either absent or a complete profile.
     const std::string tmp = path + ".tmp";
     {
       std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
       SIMPROF_EXPECTS(static_cast<bool>(out), "cannot write profile cache");
       r.profile.save(out);
+      out.flush();
+      SIMPROF_EXPECTS(static_cast<bool>(out), "short write to profile cache");
+    }
+    if (const int fd = ::open(tmp.c_str(), O_WRONLY); fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
     }
     std::filesystem::rename(tmp, path);
+    if (const int dfd = ::open(cache_dir_.c_str(), O_RDONLY | O_DIRECTORY);
+        dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
     r.cache_path = path;
     SIMPROF_LOG(kDebug) << "lab: cached " << r.profile.num_units()
                         << " units -> " << path;

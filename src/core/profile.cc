@@ -66,17 +66,35 @@ void ThreadProfile::save(std::ostream& out) const {
 
 ThreadProfile ThreadProfile::load(std::istream& in) {
   BinaryReader r(in);
-  SIMPROF_EXPECTS(r.u32() == kMagic, "not a SimProf profile");
-  SIMPROF_EXPECTS(r.u32() == kVersion, "profile version mismatch");
+  if (r.u32() != kMagic) {
+    throw SerializeError("not a SimProf profile (bad magic)");
+  }
+  if (const auto v = r.u32(); v != kVersion) {
+    throw SerializeError("unsupported profile version " + std::to_string(v) +
+                         " (expected " + std::to_string(kVersion) + ")");
+  }
   ThreadProfile p;
+  // Each method entry is ≥ 9 bytes (u64 name length + kind byte); each unit
+  // is ≥ 80 bytes. Bounding the counts up front keeps a corrupt prefix from
+  // sizing a reserve.
   const auto methods = r.u64();
+  if (methods > r.remaining() / 9) {
+    throw SerializeError("corrupt archive: method count exceeds file size");
+  }
   p.method_names.reserve(methods);
   p.method_kinds.reserve(methods);
   for (std::uint64_t i = 0; i < methods; ++i) {
     p.method_names.push_back(r.str());
-    p.method_kinds.push_back(static_cast<jvm::OpKind>(r.u8()));
+    const std::uint8_t kind = r.u8();
+    if (kind >= jvm::kNumOpKinds) {
+      throw SerializeError("corrupt archive: invalid method kind byte");
+    }
+    p.method_kinds.push_back(static_cast<jvm::OpKind>(kind));
   }
   const auto units = r.u64();
+  if (units > r.remaining() / 80) {
+    throw SerializeError("corrupt archive: unit count exceeds file size");
+  }
   p.units.reserve(units);
   for (std::uint64_t i = 0; i < units; ++i) {
     UnitRecord u;
@@ -90,8 +108,17 @@ ThreadProfile ThreadProfile::load(std::istream& in) {
     u.counters.migrations = r.u64();
     u.methods = r.vec_u32();
     u.counts = r.vec_u32();
-    SIMPROF_EXPECTS(u.methods.size() == u.counts.size(),
-                    "corrupt unit record");
+    if (u.methods.size() != u.counts.size()) {
+      throw SerializeError("corrupt archive: unit method/count mismatch");
+    }
+    // Method ids are written sorted and must index the method table —
+    // downstream feature extraction indexes columns by these ids.
+    for (std::size_t m = 0; m < u.methods.size(); ++m) {
+      if (u.methods[m] >= methods ||
+          (m > 0 && u.methods[m] <= u.methods[m - 1])) {
+        throw SerializeError("corrupt archive: invalid method id in unit");
+      }
+    }
     p.units.push_back(std::move(u));
   }
   return p;

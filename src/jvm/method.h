@@ -30,6 +30,10 @@ enum class OpKind : std::uint8_t {
   kCompute,  ///< numeric kernels (pagerank contribs, bayes likelihoods)
 };
 
+/// Number of OpKind values — bound for validating serialized kind bytes.
+inline constexpr std::uint8_t kNumOpKinds =
+    static_cast<std::uint8_t>(OpKind::kCompute) + 1;
+
 std::string_view to_string(OpKind kind);
 
 /// Interns method names and remembers each method's OpKind. One registry per

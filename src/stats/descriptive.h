@@ -1,6 +1,11 @@
 // Descriptive statistics used throughout SimProf: per-phase CPI means and
 // deviations (Eq. 5), coefficients of variation (Fig. 6), and the weighted
 // CoV summary of the phase-homogeneity analysis.
+//
+// Small-sample conventions (DESIGN.md §6d): every estimator is total on its
+// domain — n < 2 yields variance/stddev/correlation 0 rather than a 0/0 NaN,
+// so single-unit phases flow through Neyman weights and CIs as "no variance
+// signal" instead of poisoning them.
 #pragma once
 
 #include <cstddef>

@@ -179,6 +179,11 @@ double simplified_silhouette(const Matrix& points, const Matrix& centers,
         table.squared_distances(points, norms, cb, ce, block);
         double acc = 0.0;
         for (std::size_t i = cb; i < ce; ++i) {
+          // Singleton cluster → s(i) = 0, matching the exact variant (and
+          // sklearn): a(i) is undefined for a lone member, and the
+          // center-distance proxy (≈ 0 for a singleton whose center is the
+          // point itself) would inflate the score to ~1.
+          if (counts[labels[i]] <= 1) continue;
           const double* d2 = block.data() + (i - cb) * k;
           const double a = std::sqrt(d2[labels[i]]);
           double b = std::numeric_limits<double>::max();

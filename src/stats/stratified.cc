@@ -28,15 +28,29 @@ std::vector<std::size_t> allocate_by_weight(std::span<const Stratum> strata,
     for (std::size_t i = 0; i < h; ++i) {
       if (alloc[i] < strata[i].population) active_weight += weights[i];
     }
-    if (active_weight <= 0.0) break;
+    // Every positive-weight stratum may be capped while zero-weight (σ = 0)
+    // strata still have room; spill the rest proportionally to population so
+    // the "total caps at the summed populations" invariant holds.
+    const bool by_population = active_weight <= 0.0;
+    if (by_population) {
+      for (std::size_t i = 0; i < h; ++i) {
+        if (alloc[i] < strata[i].population) {
+          active_weight += static_cast<double>(strata[i].population);
+        }
+      }
+    }
+    if (active_weight <= 0.0) break;  // everyone capped
 
     std::vector<std::pair<double, std::size_t>> frac;  // (remainder, idx)
     std::size_t placed = 0;
     std::vector<std::size_t> add(h, 0);
     for (std::size_t i = 0; i < h; ++i) {
       if (alloc[i] >= strata[i].population) continue;
+      const double wi = by_population
+                            ? static_cast<double>(strata[i].population)
+                            : weights[i];
       const double share =
-          static_cast<double>(remaining) * weights[i] / active_weight;
+          static_cast<double>(remaining) * wi / active_weight;
       const auto base = static_cast<std::size_t>(share);
       const std::size_t cap = strata[i].population - alloc[i];
       add[i] = std::min(base, cap);
@@ -97,7 +111,13 @@ std::vector<std::size_t> optimal_allocation(std::span<const Stratum> strata,
   std::vector<double> w(strata.size(), 0.0);
   double sum = 0.0;
   for (std::size_t i = 0; i < strata.size(); ++i) {
-    w[i] = static_cast<double>(strata[i].population) * strata[i].stddev;
+    // A NaN/inf/negative σ (e.g. from a degenerate upstream fit) must not
+    // poison the weights: allocate_by_weight would cast a NaN share to
+    // size_t, which is UB. Treat it as "no variance signal" (σ = 0).
+    const double sd = std::isfinite(strata[i].stddev) && strata[i].stddev > 0.0
+                          ? strata[i].stddev
+                          : 0.0;
+    w[i] = static_cast<double>(strata[i].population) * sd;
     sum += w[i];
   }
   if (sum <= 0.0) {
@@ -131,7 +151,12 @@ double stratified_standard_error(std::span<const Stratum> strata,
     const double nh_pop = static_cast<double>(strata[i].population);
     n_total += nh_pop;
     if (nh <= 0.0 || nh_pop <= 0.0) continue;
-    const double fpc = 1.0 - nh / nh_pop;  // finite population correction
+    // Clamp the finite population correction to [0, 1]: n_h > N_h (a caller
+    // bug or corrupt model) must yield SE terms of 0, not a negative value
+    // whose sum can go NaN under sqrt. Non-finite σ contributes nothing —
+    // same convention as optimal_allocation.
+    const double fpc = std::clamp(1.0 - nh / nh_pop, 0.0, 1.0);
+    if (!std::isfinite(strata[i].stddev)) continue;
     const double s2 = strata[i].stddev * strata[i].stddev;
     acc += nh_pop * nh_pop * fpc * s2 / nh;
   }

@@ -25,6 +25,11 @@ struct Stratum {
 /// least `min_per_stratum` (clamped to its population), and no stratum is
 /// allocated more units than it has. If every σ_h is 0 the allocation falls
 /// back to proportional-to-population.
+///
+/// Edge conventions (verified by the src/verify oracle harness): a `total`
+/// exceeding the summed populations caps at the population (every stratum
+/// fully sampled); a non-finite or negative σ_h is treated as 0 so degenerate
+/// fits can never produce NaN weights.
 std::vector<std::size_t> optimal_allocation(std::span<const Stratum> strata,
                                             std::size_t total,
                                             std::size_t min_per_stratum = 1);
@@ -38,7 +43,10 @@ std::vector<std::size_t> proportional_allocation(
 /// Eq. 4: SE of the stratified mean estimator given realized per-stratum
 /// sample sizes (entries with n_h = 0 or N_h = 0 contribute 0, matching the
 /// convention that a zero-variance or unsampled stratum adds no estimator
-/// variance — callers should ensure n_h ≥ 1 wherever σ_h > 0).
+/// variance — callers should ensure n_h ≥ 1 wherever σ_h > 0). The result is
+/// always finite: the finite-population correction is clamped to [0, 1] and
+/// non-finite σ_h terms are dropped, so single-unit or degenerate strata
+/// yield a finite (possibly zero-width) CI rather than NaN.
 double stratified_standard_error(std::span<const Stratum> strata,
                                  std::span<const std::size_t> sample_sizes);
 

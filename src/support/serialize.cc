@@ -17,25 +17,59 @@ void BinaryWriter::vec_f64(const std::vector<double>& v) {
   for (auto e : v) f64(e);
 }
 
+BinaryReader::BinaryReader(std::istream& in) : in_(in) {
+  const std::streampos cur = in_.tellg();
+  if (cur == std::streampos(-1)) return;
+  in_.seekg(0, std::ios::end);
+  const std::streampos end = in_.tellg();
+  in_.seekg(cur);
+  if (end == std::streampos(-1) || !in_) {
+    in_.clear();
+    in_.seekg(cur);
+    return;
+  }
+  end_ = static_cast<std::uint64_t>(end);
+  seekable_ = true;
+}
+
+std::uint64_t BinaryReader::remaining() const {
+  if (!seekable_) return std::numeric_limits<std::uint64_t>::max();
+  const std::streampos cur = in_.tellg();
+  if (cur == std::streampos(-1)) return 0;
+  const auto pos = static_cast<std::uint64_t>(cur);
+  return pos >= end_ ? 0 : end_ - pos;
+}
+
+std::size_t BinaryReader::checked_count(std::size_t elem_size,
+                                        const char* what) {
+  const std::uint64_t n = u64();
+  // Two bounds: a sanity cap against absurd prefixes even on non-seekable
+  // streams, and the hard remaining-bytes budget on seekable ones. Both
+  // fire *before* any allocation sized by n.
+  if (n >= (1ULL << 32) ||
+      n > remaining() / static_cast<std::uint64_t>(elem_size)) {
+    throw SerializeError(std::string("corrupt archive: ") + what +
+                         " length prefix exceeds remaining bytes");
+  }
+  return static_cast<std::size_t>(n);
+}
+
 std::vector<std::uint32_t> BinaryReader::vec_u32() {
-  const auto n = u64();
-  SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive");
+  const auto n = checked_count(sizeof(std::uint32_t), "u32 vector");
   std::vector<std::uint32_t> v(n);
   for (auto& e : v) e = u32();
   return v;
 }
 
 std::vector<std::uint64_t> BinaryReader::vec_u64() {
-  const auto n = u64();
-  SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive");
+  const auto n = checked_count(sizeof(std::uint64_t), "u64 vector");
   std::vector<std::uint64_t> v(n);
   for (auto& e : v) e = u64();
   return v;
 }
 
 std::vector<double> BinaryReader::vec_f64() {
-  const auto n = u64();
-  SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive");
+  const auto n = checked_count(sizeof(double), "f64 vector");
   std::vector<double> v(n);
   for (auto& e : v) e = f64();
   return v;

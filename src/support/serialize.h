@@ -2,13 +2,22 @@
 //
 // Format: little-endian fixed-width integers, doubles as IEEE-754 bits,
 // strings/vectors length-prefixed with uint64. A magic+version header at the
-// archive level is the caller's responsibility.
+// archive level is the caller's responsibility (ThreadProfile writes
+// "SPRF" + version; see DESIGN.md §6d for the versioning policy).
+//
+// Robustness contract: BinaryReader treats its input as untrusted. Every
+// length prefix is bounded by the bytes actually remaining in the stream
+// before any allocation, so a corrupt or hostile archive can make a read
+// fail with SerializeError but can never drive a multi-gigabyte reserve,
+// an over-read, or UB. The fault-injection harness in src/verify drives
+// this contract with seeded corruption (see `simprof verify`).
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <iosfwd>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -16,6 +25,15 @@
 #include "support/assert.h"
 
 namespace simprof {
+
+/// Thrown on malformed, truncated, or otherwise corrupt archive bytes.
+/// Derives ContractViolation so pre-existing catch sites and tests keep
+/// working; new code should catch SerializeError to distinguish bad *input*
+/// from a programming bug.
+class SerializeError : public ContractViolation {
+ public:
+  explicit SerializeError(const std::string& what) : ContractViolation(what) {}
+};
 
 class BinaryWriter {
  public:
@@ -50,7 +68,12 @@ class BinaryWriter {
 
 class BinaryReader {
  public:
-  explicit BinaryReader(std::istream& in) : in_(in) {}
+  /// Measures the stream once at construction (tellg/seekg round trip) so
+  /// length prefixes can be validated against the bytes that actually exist.
+  /// Non-seekable streams fall back to an unbounded budget — the per-element
+  /// truncation check in raw() still catches over-reads, just after O(1)
+  /// element reads instead of before the reserve.
+  explicit BinaryReader(std::istream& in);
 
   std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
   std::uint32_t u32() { std::uint32_t v; raw(&v, sizeof v); return v; }
@@ -58,8 +81,7 @@ class BinaryReader {
   double f64() { double v; raw(&v, sizeof v); return v; }
 
   std::string str() {
-    const auto n = u64();
-    SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive: string too long");
+    const auto n = checked_count(1, "string");
     std::string s(n, '\0');
     raw(s.data(), n);
     return s;
@@ -67,11 +89,12 @@ class BinaryReader {
 
   template <typename T, typename Fn>
   std::vector<T> vec(Fn&& read_one) {
-    const auto n = u64();
-    SIMPROF_EXPECTS(n < (1ULL << 32), "corrupt archive: vector too long");
+    // Unknown element encoding: bound by one byte per element, the smallest
+    // any field encodes to; read_one's own raw() calls catch the rest.
+    const auto n = checked_count(1, "vector");
     std::vector<T> v;
     v.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_one(*this));
+    for (std::size_t i = 0; i < n; ++i) v.push_back(read_one(*this));
     return v;
   }
 
@@ -81,13 +104,25 @@ class BinaryReader {
 
   bool ok() const { return static_cast<bool>(in_); }
 
+  /// Bytes left before the end of the stream, or uint64 max if the stream
+  /// is not seekable.
+  std::uint64_t remaining() const;
+
  private:
+  /// Reads a u64 element count and validates count·elem_size against
+  /// remaining(); throws SerializeError("corrupt archive: ...") otherwise.
+  std::size_t checked_count(std::size_t elem_size, const char* what);
+
   void raw(void* p, std::size_t n) {
     in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-    SIMPROF_EXPECTS(static_cast<std::size_t>(in_.gcount()) == n,
-                    "corrupt archive: truncated read");
+    if (static_cast<std::size_t>(in_.gcount()) != n) {
+      throw SerializeError("corrupt archive: truncated read");
+    }
   }
+
   std::istream& in_;
+  std::uint64_t end_ = std::numeric_limits<std::uint64_t>::max();
+  bool seekable_ = false;
 };
 
 }  // namespace simprof

@@ -1,0 +1,37 @@
+// Statistical oracle harness: checks the stratified estimator stack
+// (optimal_allocation, SE, CIs, required sample size), silhouettes, and
+// feature selection against closed-form results on synthetic populations and
+// against independent naive reference implementations, plus property sweeps
+// (allocation sums/caps/floors, CI coverage within binomial tolerance).
+//
+// The allocation under test is pluggable so the harness can be mutation-
+// tested: handing it a deliberately broken allocator must turn checks red
+// (tests/verify_test.cc does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/stratified.h"
+#include "verify/verify.h"
+
+namespace simprof::verify {
+
+using AllocationFn = std::function<std::vector<std::size_t>(
+    std::span<const stats::Stratum>, std::size_t, std::size_t)>;
+
+struct OracleConfig {
+  std::uint64_t seed = 2;
+  std::size_t property_trials = 64;      ///< random-strata property cases
+  std::size_t coverage_resamples = 10000;  ///< CI coverage resampling count
+  /// Allocation under test; empty → stats::optimal_allocation.
+  AllocationFn allocation;
+};
+
+/// Runs every oracle check. Each failed check increments
+/// verify.oracle_failures.
+VerifyReport verify_statistics(const OracleConfig& cfg);
+
+}  // namespace simprof::verify

@@ -1,0 +1,123 @@
+#include "verify/roundtrip.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+#include "support/rng.h"
+#include "support/serialize.h"
+#include "verify/golden_archive.h"
+#include "verify/synthetic.h"
+
+namespace simprof::verify {
+namespace {
+
+std::string serialize(const core::ThreadProfile& p) {
+  std::ostringstream out(std::ios::binary);
+  p.save(out);
+  return out.str();
+}
+
+core::ThreadProfile deserialize(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return core::ThreadProfile::load(in);
+}
+
+/// Scalar primitives through BinaryWriter/Reader, compared at the byte
+/// level so NaN payloads and signed zeros count.
+bool primitives_roundtrip() {
+  const std::uint64_t u64s[] = {0, 1, (1ULL << 32) - 1, (1ULL << 32),
+                                std::numeric_limits<std::uint64_t>::max()};
+  const double f64s[] = {0.0, -0.0, 1.5, -1e308,
+                         std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::quiet_NaN()};
+  std::ostringstream out(std::ios::binary);
+  {
+    BinaryWriter w(out);
+    for (auto v : u64s) w.u64(v);
+    for (auto v : f64s) w.f64(v);
+    w.u8(0);
+    w.u8(255);
+    w.u32(std::numeric_limits<std::uint32_t>::max());
+    w.str("");
+    w.str(std::string("nul\0s", 5));
+    w.vec_u32({});
+    w.vec_f64({1.0, std::numeric_limits<double>::quiet_NaN()});
+  }
+  std::istringstream in(out.str(), std::ios::binary);
+  BinaryReader r(in);
+  for (auto v : u64s) {
+    if (r.u64() != v) return false;
+  }
+  for (auto v : f64s) {
+    const double got = r.f64();
+    if (std::memcmp(&got, &v, sizeof v) != 0) return false;
+  }
+  if (r.u8() != 0 || r.u8() != 255) return false;
+  if (r.u32() != std::numeric_limits<std::uint32_t>::max()) return false;
+  if (!r.str().empty()) return false;
+  if (r.str() != std::string("nul\0s", 5)) return false;
+  if (!r.vec_u32().empty()) return false;
+  const auto vf = r.vec_f64();
+  if (vf.size() != 2 || vf[0] != 1.0 || !std::isnan(vf[1])) return false;
+  return r.remaining() == 0;
+}
+
+}  // namespace
+
+VerifyReport verify_roundtrip(std::uint64_t seed, std::size_t cases) {
+  VerifyReport report;
+  report.fingerprint = kFnvOffset;
+
+  report.add("roundtrip.primitives_bit_identical", primitives_roundtrip());
+
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < cases; ++i) {
+    Rng rng = Rng::stream(seed, 0x27a0 + i);
+    const core::ThreadProfile p = random_profile(rng);
+    const std::string once = serialize(p);
+    const std::string twice = serialize(deserialize(once));
+    bad += once == twice ? 0 : 1;
+    report.fingerprint = fnv1a(report.fingerprint, once.size());
+    ++report.cases_run;
+  }
+  report.add("roundtrip.profiles_bit_identical", bad == 0,
+             std::to_string(cases) + " randomized profiles, " +
+                 std::to_string(bad) + " mismatches");
+
+  // Golden archive: frozen v3 bytes must decode to the handcrafted fixture
+  // and re-serialize to exactly the frozen bytes.
+  {
+    const std::string golden(reinterpret_cast<const char*>(kGoldenArchiveV3),
+                             sizeof kGoldenArchiveV3);
+    bool decodes = false;
+    bool identical = false;
+    bool matches_fixture = false;
+    std::string detail;
+    try {
+      const core::ThreadProfile p = deserialize(golden);
+      decodes = true;
+      identical = serialize(p) == golden;
+      const core::ThreadProfile want = golden_profile();
+      matches_fixture = serialize(want) == golden &&
+                        p.num_units() == want.num_units() &&
+                        p.method_names == want.method_names;
+      detail = std::to_string(p.num_units()) + " units, " +
+               std::to_string(p.num_methods()) + " methods";
+    } catch (const std::exception& e) {
+      detail = e.what();
+    }
+    report.add("roundtrip.golden_archive_decodes", decodes, detail);
+    report.add("roundtrip.golden_archive_stable", identical && matches_fixture,
+               "reader/writer drift tripwire — bump kVersion and regenerate "
+               "golden_archive.h on any intentional format change");
+  }
+  return report;
+}
+
+}  // namespace simprof::verify

@@ -1,0 +1,17 @@
+// Round-trip differential checker: every serialized type must survive
+// save → load → save with bit-identical output, including IEEE-754 edge
+// values (NaN payloads, infinities) and string/vector edge shapes, and the
+// current reader must decode the checked-in golden archive byte-for-byte
+// (the cross-version tripwire: a format change without a version bump and a
+// refreshed golden turns this red).
+#pragma once
+
+#include <cstdint>
+
+#include "verify/verify.h"
+
+namespace simprof::verify {
+
+VerifyReport verify_roundtrip(std::uint64_t seed, std::size_t cases = 32);
+
+}  // namespace simprof::verify

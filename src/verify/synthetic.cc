@@ -1,0 +1,66 @@
+#include "verify/synthetic.h"
+
+#include <string>
+
+namespace simprof::verify {
+
+core::ThreadProfile random_profile(Rng& rng) {
+  core::ThreadProfile p;
+  const std::size_t num_methods = 1 + rng.next_below(24);
+  for (std::size_t m = 0; m < num_methods; ++m) {
+    std::string name = "m" + std::to_string(m);
+    // Occasionally stress the string path: long names and embedded NULs.
+    if (rng.next_bool(0.1)) name.append(rng.next_below(300), 'x');
+    if (rng.next_bool(0.05)) name.push_back('\0');
+    p.method_names.push_back(std::move(name));
+    p.method_kinds.push_back(
+        static_cast<jvm::OpKind>(rng.next_below(jvm::kNumOpKinds)));
+  }
+  const std::size_t num_units = 1 + rng.next_below(48);
+  for (std::size_t u = 0; u < num_units; ++u) {
+    core::UnitRecord rec;
+    rec.unit_id = u;
+    rec.counters.instructions = rng.next_below(2'000'000);  // 0 allowed
+    rec.counters.cycles = rng.next_below(4'000'000);
+    rec.counters.line_touches = rng.next_below(1 << 20);
+    rec.counters.l1_misses = rng.next_below(1 << 16);
+    rec.counters.l2_misses = rng.next_below(1 << 12);
+    rec.counters.llc_misses = rng.next_below(1 << 8);
+    rec.counters.migrations = rng.next_below(4);
+    // Sorted strictly-increasing subset of the method table (possibly empty),
+    // mirroring SamplingManager's sorted-histogram output.
+    for (std::size_t m = 0; m < num_methods; ++m) {
+      if (rng.next_bool(0.4)) {
+        rec.methods.push_back(static_cast<std::uint32_t>(m));
+        rec.counts.push_back(1 + static_cast<std::uint32_t>(rng.next_below(50)));
+      }
+    }
+    p.units.push_back(std::move(rec));
+  }
+  return p;
+}
+
+core::ThreadProfile golden_profile() {
+  core::ThreadProfile p;
+  p.method_names = {"executor.plumbing", "wc.map", "wc.reduce", "shuffle.io"};
+  p.method_kinds = {jvm::OpKind::kFramework, jvm::OpKind::kMap,
+                    jvm::OpKind::kReduce, jvm::OpKind::kShuffle};
+  const std::uint64_t cycles[] = {1'200'000, 950'000, 2'400'000};
+  for (std::size_t u = 0; u < 3; ++u) {
+    core::UnitRecord rec;
+    rec.unit_id = u;
+    rec.counters.instructions = 1'000'000;
+    rec.counters.cycles = cycles[u];
+    rec.counters.line_touches = 4096 * (u + 1);
+    rec.counters.l1_misses = 100 * (u + 1);
+    rec.counters.l2_misses = 10 * (u + 1);
+    rec.counters.llc_misses = u;
+    rec.counters.migrations = 0;
+    rec.methods = {0, static_cast<std::uint32_t>(u + 1)};
+    rec.counts = {10, 30 + 5 * static_cast<std::uint32_t>(u)};
+    p.units.push_back(std::move(rec));
+  }
+  return p;
+}
+
+}  // namespace simprof::verify

@@ -1,0 +1,23 @@
+// Deterministic ThreadProfile generators for the verification harnesses:
+// randomized profiles spanning the format's edge shapes (for fault injection
+// and round-trip checks) and the fixed profile behind the checked-in golden
+// archive.
+#pragma once
+
+#include <cstdint>
+
+#include "core/profile.h"
+#include "support/rng.h"
+
+namespace simprof::verify {
+
+/// A randomized but fully deterministic profile: unit/method counts, stack
+/// shapes, and counter values all drawn from `rng`. Covers empty stacks,
+/// single-unit profiles, and zero-instruction units.
+core::ThreadProfile random_profile(Rng& rng);
+
+/// The fixed profile whose serialized bytes are frozen in golden_archive.h.
+/// Handcrafted (no RNG) so it can never drift with generator changes.
+core::ThreadProfile golden_profile();
+
+}  // namespace simprof::verify

@@ -1,0 +1,12 @@
+#include "verify/verify.h"
+
+namespace simprof::verify {
+
+void VerifyReport::merge(const VerifyReport& other) {
+  checks.insert(checks.end(), other.checks.begin(), other.checks.end());
+  cases_run += other.cases_run;
+  fingerprint = fnv1a(fingerprint == 0 ? kFnvOffset : fingerprint,
+                      other.fingerprint);
+}
+
+}  // namespace simprof::verify

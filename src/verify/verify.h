@@ -1,0 +1,63 @@
+// simprof_verify: fault-injection and differential-oracle verification for
+// the archive/cache and statistics layers (DESIGN.md §6d).
+//
+// Three coordinated harnesses, each returning a VerifyReport:
+//   * fault_inject.h  — seeded corruption of serialized archives and the
+//     on-disk lab cache; every read path must answer with a typed error or a
+//     cache miss, never UB/OOM/a crash.
+//   * oracle.h        — closed-form and property checks for the stratified
+//     estimator stack (Eqs. 1–5), silhouettes, and feature selection,
+//     against independent naive reference implementations.
+//   * roundtrip.h     — serialize → reload → re-serialize bit-identity for
+//     every archived type, plus decode of a checked-in golden archive.
+//
+// All randomness flows through Rng::stream(seed, case_index), so a report's
+// fingerprint is a pure function of (code, seed) — `simprof verify` runs are
+// reproducible and a verdict change is always a behavior change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simprof::verify {
+
+/// Outcome of one named check, with human-readable evidence.
+struct CheckResult {
+  std::string name;
+  bool passed = false;
+  std::string detail;
+};
+
+struct VerifyReport {
+  std::vector<CheckResult> checks;
+  std::size_t cases_run = 0;      ///< individual seeded cases behind the checks
+  std::uint64_t fingerprint = 0;  ///< FNV-1a over per-case verdicts
+
+  std::size_t failures() const {
+    std::size_t n = 0;
+    for (const auto& c : checks) n += c.passed ? 0 : 1;
+    return n;
+  }
+  bool ok() const { return failures() == 0; }
+
+  void add(std::string name, bool passed, std::string detail = {}) {
+    checks.push_back({std::move(name), passed, std::move(detail)});
+  }
+
+  /// Concatenates checks and case counts; fingerprints are chained so the
+  /// merged value still pins every constituent verdict.
+  void merge(const VerifyReport& other);
+};
+
+/// FNV-1a step, the fingerprint accumulator shared by the harnesses.
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+}  // namespace simprof::verify

@@ -2,10 +2,13 @@
 // records, self-contained method tables and serialization.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include "core/profile.h"
 #include "support/assert.h"
+#include "support/serialize.h"
 #include "test_util.h"
 
 namespace simprof::core {
@@ -108,6 +111,76 @@ TEST(ThreadProfile, LoadRejectsTruncated) {
   bytes.resize(bytes.size() / 2);
   std::stringstream cut(bytes);
   EXPECT_THROW(ThreadProfile::load(cut), ContractViolation);
+}
+
+// --- Corrupt-input regressions (see DESIGN.md §6d). Archive layout v3:
+// bytes [0,4) magic "SPRF", [4,8) version u32, [8,16) method count u64.
+
+namespace {
+std::string serialized(const ThreadProfile& p) {
+  std::stringstream buf;
+  p.save(buf);
+  return buf.str();
+}
+}  // namespace
+
+TEST(ThreadProfile, LoadRejectsGarbageWithTypedError) {
+  std::stringstream buf("XXXX not a profile, but comfortably long enough");
+  EXPECT_THROW(ThreadProfile::load(buf), SerializeError);
+}
+
+TEST(ThreadProfile, LoadRejectsVersionSkew) {
+  auto bytes = serialized(testing::synthetic_profile({{3, 1.0, 0.0, 1}}));
+  bytes[4] = static_cast<char>(bytes[4] + 1);
+  std::stringstream skewed(bytes);
+  EXPECT_THROW(ThreadProfile::load(skewed), SerializeError);
+}
+
+TEST(ThreadProfile, LoadRejectsInflatedMethodCountPrefix) {
+  // Regression: an untrusted u64 count used to drive reserve() directly,
+  // so a single flipped high bit meant a multi-gigabyte allocation.
+  auto bytes = serialized(testing::synthetic_profile({{3, 1.0, 0.0, 1}}));
+  const std::uint64_t huge = 1ULL << 40;
+  std::memcpy(bytes.data() + 8, &huge, sizeof huge);
+  std::stringstream inflated(bytes);
+  EXPECT_THROW(ThreadProfile::load(inflated), SerializeError);
+}
+
+TEST(ThreadProfile, LoadRejectsInvalidKindByte) {
+  ThreadProfile p;
+  p.method_names = {"m"};
+  p.method_kinds = {jvm::OpKind::kMap};
+  auto bytes = serialized(p);
+  // Method entry: u64 name length at 16, 'm' at 24, kind byte at 25.
+  bytes[25] = '\x2a';
+  std::stringstream bad(bytes);
+  EXPECT_THROW(ThreadProfile::load(bad), SerializeError);
+}
+
+TEST(ThreadProfile, LoadRejectsOutOfRangeMethodId) {
+  ThreadProfile p;
+  p.method_names = {"m"};
+  p.method_kinds = {jvm::OpKind::kMap};
+  UnitRecord u;
+  u.counters.instructions = 10;
+  u.methods = {7};  // only method id 0 exists
+  u.counts = {1};
+  p.units.push_back(u);
+  std::stringstream buf(serialized(p));
+  EXPECT_THROW(ThreadProfile::load(buf), SerializeError);
+}
+
+TEST(ThreadProfile, LoadRejectsUnsortedUnitMethodIds) {
+  ThreadProfile p;
+  p.method_names = {"a", "b"};
+  p.method_kinds = {jvm::OpKind::kMap, jvm::OpKind::kReduce};
+  UnitRecord u;
+  u.counters.instructions = 10;
+  u.methods = {1, 0};  // histogram ids must be strictly increasing
+  u.counts = {1, 1};
+  p.units.push_back(u);
+  std::stringstream buf(serialized(p));
+  EXPECT_THROW(ThreadProfile::load(buf), SerializeError);
 }
 
 TEST(SyntheticProfile, InterleavesPhases) {

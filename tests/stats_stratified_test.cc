@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 
 #include "stats/stratified.h"
@@ -133,6 +135,74 @@ TEST(RequiredSampleSize, AchievesTargetMargin) {
     EXPECT_LE(kZ997 * se, r * mu * 1.12)
         << "margin " << r << " n=" << n;  // 12% slack for rounding/floors
   }
+}
+
+// --- Corrupt/degenerate-input regressions (see DESIGN.md §6d). The exact
+// inputs below previously produced UB or NaN; keep them verbatim.
+
+TEST(OptimalAllocation, TotalBeyondPopulationCapsAtPopulation) {
+  std::vector<Stratum> strata{{5, 1.0, 1.0}, {7, 2.0, 1.0}};
+  const auto a = optimal_allocation(strata, 1000);
+  EXPECT_EQ(a[0], 5u);
+  EXPECT_EQ(a[1], 7u);
+}
+
+TEST(OptimalAllocation, NonFiniteStddevTreatedAsZero) {
+  // Regression: σ_h = NaN flowed into a static_cast<size_t>(NaN·total) —
+  // undefined behavior — and σ_h = inf starved every other stratum.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<Stratum> strata{{100, nan, 1.0}, {100, 1.0, 1.0},
+                              {100, inf, 1.0}, {100, -2.0, 1.0}};
+  const auto a = optimal_allocation(strata, 40);
+  EXPECT_EQ(total(a), 40u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(a[i], 100u) << "stratum " << i;
+    EXPECT_GE(a[i], 1u) << "stratum " << i;  // min_per_stratum floor
+  }
+  // All weight lands on the one finite-positive-σ stratum beyond the floors.
+  EXPECT_EQ(a[1], 37u);
+}
+
+TEST(OptimalAllocation, ZeroTotalStillFloorsNonEmptyStrata) {
+  std::vector<Stratum> strata{{10, 1.0, 1.0}, {0, 1.0, 1.0}, {10, 1.0, 1.0}};
+  const auto a = optimal_allocation(strata, 0);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 0u);
+  EXPECT_EQ(a[2], 1u);
+}
+
+TEST(StandardError, OverdrawnStratumClampsFpcToZero) {
+  // Regression: n_h > N_h made the finite-population correction negative,
+  // so the summed variance could go negative and sqrt() return NaN.
+  std::vector<Stratum> strata{{4, 2.0, 1.0}};
+  const std::vector<std::size_t> overdrawn{9};
+  const double se = stratified_standard_error(strata, overdrawn);
+  EXPECT_TRUE(std::isfinite(se));
+  EXPECT_DOUBLE_EQ(se, 0.0);  // census (and then some) ⇒ no estimator error
+}
+
+TEST(StandardError, NonFiniteStddevContributesNothing) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Stratum> strata{{100, nan, 1.0}, {100, 0.5, 1.0}};
+  const std::vector<std::size_t> alloc{10, 10};
+  const double se = stratified_standard_error(strata, alloc);
+  EXPECT_TRUE(std::isfinite(se));
+  std::vector<Stratum> clean{{100, 0.0, 1.0}, {100, 0.5, 1.0}};
+  EXPECT_DOUBLE_EQ(se, stratified_standard_error(clean, alloc));
+}
+
+TEST(ConfidenceInterval, SingleUnitStrataStayFinite) {
+  // A stratum with one sampled unit has undefined sample stddev upstream;
+  // with the σ→0 convention the stratified CI must still be finite.
+  std::vector<Stratum> strata{{1, 0.0, 2.0}, {50, 0.3, 1.0}};
+  const auto alloc = optimal_allocation(strata, 10);
+  const double se = stratified_standard_error(strata, alloc);
+  const auto ci = confidence_interval(stratified_population_mean(strata), se,
+                                      kZ997);
+  EXPECT_TRUE(std::isfinite(ci.low()));
+  EXPECT_TRUE(std::isfinite(ci.high()));
+  EXPECT_GE(ci.high(), ci.low());
 }
 
 TEST(RequiredSampleSize, RejectsBadArguments) {

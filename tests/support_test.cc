@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <type_traits>
 
 #include "support/assert.h"
 #include "support/interner.h"
@@ -194,6 +196,54 @@ TEST(Serialize, TruncatedReadThrows) {
   }
   BinaryReader r(buf);
   EXPECT_THROW(r.u64(), ContractViolation);
+}
+
+TEST(Serialize, TypedErrorDerivesContractViolation) {
+  // New catch sites distinguish bad input; old EXPECT_THROW sites keep
+  // working because SerializeError is-a ContractViolation.
+  static_assert(std::is_base_of_v<ContractViolation, SerializeError>);
+  std::stringstream buf;
+  BinaryReader r(buf);
+  EXPECT_THROW(r.u8(), SerializeError);
+}
+
+TEST(Serialize, VectorPrefixBoundedByRemainingBytes) {
+  // Regression: a corrupt u64 count used to feed reserve() unchecked, so a
+  // hostile archive could demand a multi-gigabyte allocation up front.
+  std::stringstream buf;
+  {
+    BinaryWriter w(buf);
+    w.u64(1ULL << 40);  // claims ~10^12 u32 elements...
+    w.u32(7);           // ...backed by four bytes
+  }
+  BinaryReader r(buf);
+  EXPECT_THROW(r.vec_u32(), SerializeError);
+}
+
+TEST(Serialize, StringPrefixBoundedByRemainingBytes) {
+  std::stringstream buf;
+  {
+    BinaryWriter w(buf);
+    w.u64(1000);
+    w.u8('x');
+  }
+  BinaryReader r(buf);
+  EXPECT_THROW(r.str(), SerializeError);
+}
+
+TEST(Serialize, RemainingTracksConsumption) {
+  std::stringstream buf;
+  {
+    BinaryWriter w(buf);
+    w.u64(1);
+    w.u32(2);
+  }
+  BinaryReader r(buf);
+  EXPECT_EQ(r.remaining(), 12u);
+  r.u64();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 0u);
 }
 
 TEST(Table, AlignedAndCsvOutput) {

@@ -8,6 +8,7 @@
 //                   code|systematic|simprof-sys] [--seed N]
 //   simprof size    <profile.sprf> [--error 0.05] [--confidence 99.7]
 //   simprof sensitivity <workload> [--train NAME] [--scale S]
+//   simprof verify  [--cases N] [--seed N] [--resamples N] [--skip-lab]
 //
 // Global flags (any subcommand):
 //   --threads N       worker count for the parallel phase-formation engine
@@ -41,6 +42,9 @@
 #include "obs/obs.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
+#include "verify/fault_inject.h"
+#include "verify/oracle.h"
+#include "verify/roundtrip.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -99,6 +103,14 @@ const std::vector<CommandSpec> kCommands = {
      {{"train", "NAME", "training graph input (default Google)"},
       {"scale", "S", "workload scale factor (default 1.0)"},
       {"seed", "N", "simulation seed (default 42)"}}},
+    {"verify",
+     "",
+     "fault-injection + oracle verification of the archive/cache and "
+     "statistics layers",
+     {{"cases", "N", "seeded archive corruption cases (default 500)"},
+      {"seed", "N", "verification seed (default 1)"},
+      {"resamples", "N", "CI-coverage resamples (default 10000)"},
+      {"skip-lab", "", "skip the on-disk lab-cache recovery drill"}}},
 };
 
 struct Args {
@@ -401,6 +413,49 @@ int cmd_sensitivity(const Args& args) {
   return 0;
 }
 
+int cmd_verify(const Args& args) {
+  const auto cases =
+      static_cast<std::size_t>(std::stoul(args.opt("cases", "500")));
+  const auto seed = std::stoull(args.opt("seed", "1"));
+  const auto resamples =
+      static_cast<std::size_t>(std::stoul(args.opt("resamples", "10000")));
+
+  verify::VerifyReport report;
+  std::cout << "round-trip differential check...\n";
+  report.merge(verify::verify_roundtrip(seed));
+  std::cout << "archive fault injection (" << cases << " cases, seed " << seed
+            << ")...\n";
+  report.merge(verify::verify_archive_robustness({seed, cases}));
+  std::cout << "statistical oracle harness (" << resamples
+            << " coverage resamples)...\n";
+  verify::OracleConfig oracle;
+  oracle.seed = seed;
+  oracle.coverage_resamples = resamples;
+  report.merge(verify::verify_statistics(oracle));
+  if (!args.has("skip-lab")) {
+    std::cout << "lab cache corruption drill (tiny workload)...\n";
+    report.merge(verify::verify_lab_cache_recovery(seed));
+  }
+
+  std::cout << '\n';
+  Table t({"check", "status", "detail"});
+  for (const auto& c : report.checks) {
+    t.row({c.name, c.passed ? "ok" : "FAIL", c.detail});
+  }
+  t.print_aligned(std::cout);
+  std::cout << '\n'
+            << report.checks.size() - report.failures() << "/"
+            << report.checks.size() << " checks passed over "
+            << report.cases_run << " seeded cases (fingerprint "
+            << report.fingerprint << ")\n";
+  if (!report.ok()) {
+    std::cerr << "error: " << report.failures() << " verification check(s) "
+              << "failed\n";
+    return 1;
+  }
+  return 0;
+}
+
 /// Applies the observability flags at startup and flushes the requested
 /// outputs on destruction (normal exit and error paths alike).
 class ObsFlags {
@@ -493,6 +548,7 @@ int main(int argc, char** argv) {
     if (cmd->name == "sample") return cmd_sample(args);
     if (cmd->name == "size") return cmd_size(args);
     if (cmd->name == "sensitivity") return cmd_sensitivity(args);
+    if (cmd->name == "verify") return cmd_verify(args);
     return 2;  // unreachable: find_command validated the name
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
