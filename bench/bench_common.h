@@ -110,6 +110,19 @@ inline core::LabConfig lab_config() {
   return cfg;
 }
 
+/// Fetch the profiles for `names` on one graph input through lab.run_batch:
+/// cache misses simulate concurrently on the thread pool while hits decode
+/// alongside them. Results come back in name order and are bit-identical to
+/// serial lab.run() calls.
+inline std::vector<core::LabRun> run_configs(
+    core::WorkloadLab& lab, const std::vector<std::string>& names,
+    const std::string& graph_input = "Google") {
+  std::vector<core::BatchItem> items;
+  items.reserve(names.size());
+  for (const auto& name : names) items.push_back({name, graph_input, {}});
+  return lab.run_batch(items);
+}
+
 /// The scaled SECOND baseline: the paper uses 10 s and the whole environment
 /// is scaled 1/100, so SECOND is 0.1 virtual seconds at the 2 GHz virtual
 /// clock.

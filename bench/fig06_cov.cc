@@ -18,8 +18,10 @@ int main(int argc, char** argv) {
   std::cout << "Figure 6 — Coefficient of variation of CPIs\n";
   Table table({"config", "population", "weighted", "maximum", "phases"});
   double sum_pop = 0.0, sum_w = 0.0, sum_max = 0.0;
-  for (const auto& name : bench::config_names()) {
-    const auto run = lab.run(name);
+  const auto runs = bench::run_configs(lab, bench::config_names());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& name = bench::config_names()[i];
+    const auto& run = runs[i];
     const auto model = core::form_phases(run.profile);
     const auto cov = core::cov_summary(run.profile, model);
     table.row({name, Table::num(cov.population), Table::num(cov.weighted),

@@ -20,9 +20,10 @@ int main(int argc, char** argv) {
             << bench::kFig7SampleSize << ")\n";
   Table table({"config", "SECOND", "SRS", "CODE", "SimProf"});
   double sums[4] = {};
-  for (const auto& name : bench::config_names()) {
-    const auto run = lab.run(name);
-    const auto& prof = run.profile;
+  const auto runs = bench::run_configs(lab, bench::config_names());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& name = bench::config_names()[i];
+    const auto& prof = runs[i].profile;
     const auto model = core::form_phases(prof);
 
     const double e_second = core::relative_error(

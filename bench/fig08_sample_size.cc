@@ -19,9 +19,10 @@ int main(int argc, char** argv) {
   Table table({"config", "total_units", "SECOND", "SimProf_0.05",
                "SimProf_0.02"});
   double sums[3] = {};
-  for (const auto& name : bench::config_names()) {
-    const auto run = lab.run(name);
-    const auto& prof = run.profile;
+  const auto runs = bench::run_configs(lab, bench::config_names());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& name = bench::config_names()[i];
+    const auto& prof = runs[i].profile;
     const auto model = core::form_phases(prof);
     const auto second =
         core::second_sample(prof, bench::kSecondInterval, bench::kClockGhz);

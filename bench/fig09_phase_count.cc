@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   std::cout << "Figure 9 — number of phases\n";
   Table table({"config", "phases", "units", "best_silhouette"});
   std::size_t spark_min = 99, spark_max = 0, hp_min = 99, hp_max = 0;
-  for (const auto& name : bench::config_names()) {
-    const auto run = lab.run(name);
+  const auto runs = bench::run_configs(lab, bench::config_names());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& name = bench::config_names()[i];
+    const auto& run = runs[i];
     const auto model = core::form_phases(run.profile);
     double best = 0.0;
     for (double s : model.silhouette_scores) best = std::max(best, s);

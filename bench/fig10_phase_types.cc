@@ -16,9 +16,10 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 10 — phase type distribution (unit-weighted)\n";
   Table table({"config", "map", "reduce", "sort", "io", "other"});
-  for (const auto& name : bench::config_names()) {
-    const auto run = lab.run(name);
-    const auto model = core::form_phases(run.profile);
+  const auto runs = bench::run_configs(lab, bench::config_names());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& name = bench::config_names()[i];
+    const auto model = core::form_phases(runs[i].profile);
     double w[5] = {};  // map, reduce, sort, io, other
     for (std::size_t h = 0; h < model.k; ++h) {
       const double weight = model.phases[h].weight;

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   simprof::bench::ObsSession obs_session(argc, argv);
   using namespace simprof;
   core::WorkloadLab lab(bench::lab_config());
-  const auto run = lab.run("cc_sp");
+  const auto run = lab.run_batch({core::BatchItem{"cc_sp", "Google", {}}}).front();
   const auto model = core::form_phases(run.profile);
 
   const std::size_t n = 40;  // simulation points to distribute

@@ -21,15 +21,25 @@ int main(int argc, char** argv) {
                "(training input: Google, 7 references)\n";
   Table table({"config", "sensitive", "insensitive", "total",
                "insensitive_frac"});
+  // Prefetch the whole (config, input) grid in one batch (see Fig. 12).
+  std::vector<core::BatchItem> items;
   for (const auto& name : bench::graph_config_names()) {
-    const auto train = lab.run(name, "Google");
+    items.push_back({name, "Google", {}});
+    for (const auto& entry : catalog) {
+      if (!entry.training) items.push_back({name, entry.name, {}});
+    }
+  }
+  auto runs = lab.run_batch(items);
+  std::size_t next = 0;
+  for (const auto& name : bench::graph_config_names()) {
+    const auto train = std::move(runs[next++]);
     const auto model = core::form_phases(train.profile);
 
     std::vector<core::ThreadProfile> ref_profiles;
     std::vector<std::string> ref_names;
     for (const auto& entry : catalog) {
       if (entry.training) continue;
-      ref_profiles.push_back(lab.run(name, entry.name).profile);
+      ref_profiles.push_back(std::move(runs[next++].profile));
       ref_names.push_back(entry.name);
     }
     std::vector<const core::ThreadProfile*> refs;

@@ -16,7 +16,7 @@ namespace simprof::bench {
 inline void print_phase_trace(const std::string& config_name,
                               const std::string& figure) {
   core::WorkloadLab lab(lab_config());
-  const auto run = lab.run(config_name);
+  const auto run = lab.run_batch({core::BatchItem{config_name, "Google", {}}}).front();
   const auto& prof = run.profile;
   const auto model = core::form_phases(prof);
 

@@ -3,21 +3,49 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <algorithm>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "obs/obs.h"
 #include "support/assert.h"
 #include "support/serialize.h"
+#include "support/thread_pool.h"
 
 namespace simprof::core {
 
 namespace {
 constexpr std::uint32_t kCacheSchema = 4;  // bump to invalidate cached runs
-}
+
+/// Process-wide per-cache-key locks: two concurrent runs of the same
+/// configuration — from one batch, two labs, or two threads — serialize
+/// here, so the oracle pass runs exactly once and the .tmp/rename publish
+/// path is never raced. Entries live for the process (the key space is
+/// bounded by the distinct configurations touched).
+class SingleFlight {
+ public:
+  std::shared_ptr<std::mutex> lock_for(const std::string& key) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto& slot = locks_[key];
+    if (!slot) slot = std::make_shared<std::mutex>();
+    return slot;
+  }
+
+  static SingleFlight& instance() {
+    static SingleFlight sf;
+    return sf;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<std::mutex>> locks_;
+};
+}  // namespace
 
 WorkloadLab::WorkloadLab(LabConfig cfg) : cfg_(cfg) {
   if (!cfg_.cache_dir.empty()) {
@@ -39,61 +67,95 @@ exec::ClusterConfig WorkloadLab::cluster_config() const {
 }
 
 std::string WorkloadLab::cache_path(const std::string& workload_name,
-                                    const std::string& graph_input) const {
+                                    const std::string& graph_input,
+                                    std::uint64_t seed) const {
   std::ostringstream key;
   key << workload_name << '-' << graph_input << "-s" << cfg_.scale << "-seed"
-      << cfg_.seed << "-c" << cfg_.num_cores << "-g"
+      << seed << "-c" << cfg_.num_cores << "-g"
       << cfg_.graph_scale_override << "-u" << cfg_.unit_instrs << "-v"
       << kCacheSchema << ".sprf";
   return (std::filesystem::path(cache_dir_) / key.str()).string();
 }
 
+std::optional<LabRun> WorkloadLab::try_load_cached(
+    const std::string& path, const std::string& workload_name,
+    const std::string& graph_input) {
+  static obs::Counter& hits = obs::metrics().counter("lab.cache_hits");
+  static obs::Counter& corrupt = obs::metrics().counter("lab.cache_corrupt");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  // A cache file that fails to decode — bad magic, version skew, truncation
+  // from a killed writer, bit rot — is a cache miss, never a crash: the
+  // oracle pass regenerates and overwrites it.
+  try {
+    obs::ObsSpan load_span("lab.cache_load", {{"workload", workload_name}});
+    LabRun r;
+    r.profile = ThreadProfile::load(in);
+    r.from_cache = true;
+    r.cache_path = path;
+    hits.increment();
+    SIMPROF_LOG(kInfo) << "lab: cache hit " << workload_name << "/"
+                       << graph_input << " <- " << path << " ("
+                       << r.profile.num_units() << " units)";
+    return r;
+  } catch (const ContractViolation& e) {
+    corrupt.increment();
+    SIMPROF_LOG(kWarn) << "lab: corrupt cache file " << path << " ("
+                       << e.what() << "), treating as miss";
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return std::nullopt;
+  }
+}
+
 LabRun WorkloadLab::run(const std::string& workload_name,
                         const std::string& graph_input) {
-  static obs::Counter& hits = obs::metrics().counter("lab.cache_hits");
+  return run_config(workload_name, graph_input, cfg_.seed);
+}
+
+LabRun WorkloadLab::run_config(const std::string& workload_name,
+                               const std::string& graph_input,
+                               std::uint64_t seed) {
   static obs::Counter& misses = obs::metrics().counter("lab.cache_misses");
-  static obs::Counter& corrupt = obs::metrics().counter("lab.cache_corrupt");
-  const std::string path = cache_path(workload_name, graph_input);
+  static obs::Counter& dedup = obs::metrics().counter("lab.batch_dedup");
+  const std::string path = cache_path(workload_name, graph_input, seed);
   if (cfg_.use_cache) {
-    std::ifstream in(path, std::ios::binary);
-    if (in) {
-      // A cache file that fails to decode — bad magic, version skew,
-      // truncation from a killed writer, bit rot — is a cache miss, never a
-      // crash: the oracle pass below regenerates and overwrites it.
-      try {
-        obs::ObsSpan load_span("lab.cache_load", {{"workload", workload_name}});
-        LabRun r;
-        r.profile = ThreadProfile::load(in);
-        r.from_cache = true;
-        r.cache_path = path;
-        hits.increment();
-        SIMPROF_LOG(kInfo) << "lab: cache hit " << workload_name << "/"
-                           << graph_input << " <- " << path << " ("
-                           << r.profile.num_units() << " units)";
-        return r;
-      } catch (const ContractViolation& e) {
-        corrupt.increment();
-        SIMPROF_LOG(kWarn) << "lab: corrupt cache file " << path << " ("
-                           << e.what() << "), treating as miss";
-        in.close();
-        std::error_code ec;
-        std::filesystem::remove(path, ec);
-      }
+    if (auto r = try_load_cached(path, workload_name, graph_input)) {
+      return std::move(*r);
+    }
+  }
+
+  // Single-flight the oracle pass per cache key. The lock covers the
+  // re-check, the run and the publish, so a concurrent caller either waits
+  // and decodes the published profile (a dedup) or is the one runner.
+  std::shared_ptr<std::mutex> key_lock;
+  std::unique_lock<std::mutex> flight;
+  if (cfg_.use_cache) {
+    key_lock = SingleFlight::instance().lock_for(path);
+    flight = std::unique_lock<std::mutex>(*key_lock);
+    if (auto r = try_load_cached(path, workload_name, graph_input)) {
+      dedup.increment();
+      SIMPROF_LOG(kDebug) << "lab: single-flight dedup " << workload_name
+                          << "/" << graph_input << " <- " << path;
+      return std::move(*r);
     }
   }
   misses.increment();
   SIMPROF_LOG(kInfo) << "lab: cache miss " << workload_name << "/"
                      << graph_input << " scale=" << cfg_.scale
-                     << " seed=" << cfg_.seed << ", running oracle pass";
+                     << " seed=" << seed << ", running oracle pass";
 
   const workloads::WorkloadInfo& info = workloads::workload(workload_name);
-  exec::Cluster cluster(cluster_config());
+  exec::ClusterConfig cc = cluster_config();
+  cc.seed = seed;
+  exec::Cluster cluster(cc);
   SamplingManager manager(cluster.methods());
   cluster.set_profiling_hook(&manager);
 
   workloads::WorkloadParams params;
   params.scale = cfg_.scale;
-  params.seed = cfg_.seed;
+  params.seed = seed;
   params.graph_input = graph_input;
   params.graph_scale_override = cfg_.graph_scale_override;
 
@@ -113,8 +175,11 @@ LabRun WorkloadLab::run(const std::string& workload_name,
     // Atomic + durable publish: write the whole profile to a .tmp sibling,
     // fsync it, then rename into place and fsync the directory. A run killed
     // mid-write leaves only a .tmp that no reader ever opens — the published
-    // name is either absent or a complete profile.
-    const std::string tmp = path + ".tmp";
+    // name is either absent or a complete profile. The pid suffix keeps
+    // separate processes (which don't share the single-flight locks) off
+    // each other's temporaries.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
     {
       std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
       SIMPROF_EXPECTS(static_cast<bool>(out), "cannot write profile cache");
@@ -137,6 +202,87 @@ LabRun WorkloadLab::run(const std::string& workload_name,
                         << " units -> " << path;
   }
   return r;
+}
+
+std::vector<LabRun> WorkloadLab::run_batch(const std::vector<BatchItem>& items) {
+  static obs::Counter& batches = obs::metrics().counter("lab.batch_runs");
+  static obs::Counter& batch_items = obs::metrics().counter("lab.batch_items");
+  static obs::Counter& dedup = obs::metrics().counter("lab.batch_dedup");
+  const std::size_t n = items.size();
+  std::vector<LabRun> out(n);
+  if (n == 0) return out;
+  batches.increment();
+  batch_items.add(n);
+
+  // Group items by cache key: one oracle pass / decode per distinct
+  // configuration, duplicates copy the representative's result.
+  struct Unique {
+    std::size_t item;       ///< first item with this key
+    std::uint64_t seed;
+    bool expect_hit;        ///< cache file present at scheduling time
+  };
+  std::vector<Unique> uniq;
+  std::vector<std::size_t> uniq_of(n);
+  {
+    std::unordered_map<std::string, std::size_t> first_of;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t seed = items[i].seed.value_or(cfg_.seed);
+      std::string path =
+          cache_path(items[i].workload, items[i].graph_input, seed);
+      auto [it, inserted] = first_of.emplace(std::move(path), uniq.size());
+      if (inserted) {
+        const bool hit =
+            cfg_.use_cache && std::filesystem::exists(it->first);
+        uniq.push_back({i, seed, hit});
+      } else {
+        dedup.increment();
+      }
+      uniq_of[i] = it->second;
+    }
+  }
+
+  // Cache-aware schedule: misses (full simulations, the long poles) are
+  // dispatched first so they start immediately; hits decode alongside them.
+  // Execution order cannot affect results — each run is a pure function of
+  // its configuration.
+  std::vector<std::size_t> order;
+  order.reserve(uniq.size());
+  for (std::size_t u = 0; u < uniq.size(); ++u) {
+    if (!uniq[u].expect_hit) order.push_back(u);
+  }
+  const std::size_t scheduled_misses = order.size();
+  for (std::size_t u = 0; u < uniq.size(); ++u) {
+    if (uniq[u].expect_hit) order.push_back(u);
+  }
+
+  obs::ObsSpan span("lab.run_batch",
+                    {{"items", n},
+                     {"unique", uniq.size()},
+                     {"scheduled_misses", scheduled_misses}});
+  std::vector<LabRun> results(uniq.size());
+  support::parallel_for(
+      cfg_.threads, 0, order.size(), 1,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t j = b; j < e; ++j) {
+          const Unique& u = uniq[order[j]];
+          const BatchItem& item = items[u.item];
+          results[order[j]] =
+              run_config(item.workload, item.graph_input, u.seed);
+        }
+      });
+
+  // Fan the unique results back out in item order (the last consumer of a
+  // result moves it, earlier duplicates copy).
+  std::vector<std::size_t> last_user(uniq.size());
+  for (std::size_t i = 0; i < n; ++i) last_user[uniq_of[i]] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (last_user[uniq_of[i]] == i) {
+      out[i] = std::move(results[uniq_of[i]]);
+    } else {
+      out[i] = results[uniq_of[i]];
+    }
+  }
+  return out;
 }
 
 }  // namespace simprof::core

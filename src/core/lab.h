@@ -2,10 +2,18 @@
 // under the thread profiler and returns its ThreadProfile, with a disk cache
 // so the oracle pass per (workload, input, scale, seed) runs exactly once
 // across all benches and examples.
+//
+// run_batch executes many configurations concurrently on the shared
+// support::ThreadPool: duplicate cache keys are single-flighted (one oracle
+// pass, counted in lab.batch_dedup), and misses are scheduled before hits so
+// simulations start immediately while cached profiles decode alongside them.
+// Profiles are a pure function of their configuration, so batch output is
+// bit-identical to running the items serially, for any thread count.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/profile.h"
 #include "exec/cluster.h"
@@ -24,6 +32,9 @@ struct LabConfig {
   /// Cache directory; empty → $SIMPROF_CACHE_DIR or ".simprof_cache".
   std::string cache_dir;
   bool use_cache = true;
+  /// Worker threads for run_batch (0 = global default from
+  /// hardware_concurrency, overridable via the CLI --threads flag).
+  std::size_t threads = 0;
 };
 
 struct LabRun {
@@ -33,15 +44,30 @@ struct LabRun {
   std::string cache_path;  ///< on-disk cache file this run hit or populated
 };
 
+/// One configuration of a batch: a (workload, graph input, seed) triple.
+/// An unset seed uses the lab's configured seed.
+struct BatchItem {
+  std::string workload;
+  std::string graph_input = "Google";
+  std::optional<std::uint64_t> seed;
+};
+
 class WorkloadLab {
  public:
   explicit WorkloadLab(LabConfig cfg = {});
 
   /// Profile `workload_name` ("wc_sp", …) on `graph_input` (Table II name,
   /// ignored by non-graph workloads). Cached on disk keyed by every
-  /// parameter that affects the run.
+  /// parameter that affects the run. Concurrent calls for the same cache
+  /// key are single-flighted: one caller runs the oracle pass, the others
+  /// decode its published profile (lab.batch_dedup counts them).
   LabRun run(const std::string& workload_name,
              const std::string& graph_input = "Google");
+
+  /// Run every item, concurrently on the thread pool (cfg.threads workers;
+  /// 0 = global default). Results are returned in item order and are
+  /// bit-identical to calling run() serially per item.
+  std::vector<LabRun> run_batch(const std::vector<BatchItem>& items);
 
   /// Build a cluster matching this lab's configuration (for callers that
   /// need custom profiling setups, e.g. the trace benches).
@@ -51,7 +77,14 @@ class WorkloadLab {
 
  private:
   std::string cache_path(const std::string& workload_name,
-                         const std::string& graph_input) const;
+                         const std::string& graph_input,
+                         std::uint64_t seed) const;
+  /// try-load → single-flight lock → re-check → oracle pass → publish.
+  LabRun run_config(const std::string& workload_name,
+                    const std::string& graph_input, std::uint64_t seed);
+  std::optional<LabRun> try_load_cached(const std::string& path,
+                                        const std::string& workload_name,
+                                        const std::string& graph_input);
 
   LabConfig cfg_;
   std::string cache_dir_;

@@ -9,6 +9,7 @@
 #include "stats/feature_select.h"
 #include "support/assert.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace simprof::core {
 
@@ -26,6 +27,43 @@ stats::Matrix build_feature_matrix(const ThreadProfile& profile) {
   return m;
 }
 
+stats::SparseMatrix build_sparse_feature_matrix(const ThreadProfile& profile) {
+  stats::SparseMatrix m(profile.num_units(), profile.num_methods());
+  std::vector<std::pair<std::uint32_t, double>> entries;
+  std::vector<std::uint32_t> cols;
+  std::vector<double> vals;
+  for (std::size_t u = 0; u < profile.num_units(); ++u) {
+    const UnitRecord& rec = profile.units[u];
+    entries.clear();
+    for (std::size_t i = 0; i < rec.methods.size(); ++i) {
+      SIMPROF_EXPECTS(rec.methods[i] < profile.num_methods(),
+                      "method id outside profile table");
+      entries.emplace_back(rec.methods[i],
+                           static_cast<double>(rec.counts[i]));
+    }
+    // Collected records are sorted already; synthetic test profiles may not
+    // be. Stable sort + last-entry-wins matches the dense builder's
+    // assignment semantics exactly.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    cols.clear();
+    vals.clear();
+    for (const auto& [c, v] : entries) {
+      if (!cols.empty() && cols.back() == c) {
+        vals.back() = v;
+      } else {
+        cols.push_back(c);
+        vals.push_back(v);
+      }
+    }
+    m.append_row(cols, vals);
+  }
+  m.normalize_rows_l1();
+  return m;
+}
+
 PhaseModel form_phases(const ThreadProfile& profile,
                        const PhaseFormationConfig& cfg) {
   SIMPROF_EXPECTS(profile.num_units() > 0, "cannot form phases of nothing");
@@ -35,15 +73,18 @@ PhaseModel form_phases(const ThreadProfile& profile,
       obs::metrics().counter("phase.formations");
   formations.increment();
 
-  // 1. Vectorize call stacks (full method space, row-normalized).
-  stats::Matrix full = build_feature_matrix(profile);
+  // 1. Vectorize call stacks in CSR form (full method space, row-normalized)
+  // — built once per profile; the dense form only ever materializes for the
+  // selected top-K columns.
+  stats::SparseMatrix sparse = build_sparse_feature_matrix(profile);
 
-  // 2. Univariate linear-regression feature selection against IPC.
+  // 2. Univariate linear-regression feature selection against IPC, straight
+  // off the sparse matrix.
   std::vector<double> ipc(profile.num_units());
   for (std::size_t u = 0; u < profile.num_units(); ++u) {
     ipc[u] = profile.units[u].ipc();
   }
-  std::vector<double> scores = stats::f_regression(full, ipc);
+  std::vector<double> scores = stats::f_regression(sparse, ipc, cfg.threads);
   for (double& v : scores) {
     if (v < cfg.min_f_score) v = 0.0;  // insignificant → eliminated
   }
@@ -63,7 +104,7 @@ PhaseModel form_phases(const ThreadProfile& profile,
     model.representative_units = {0};
     return model;
   }
-  stats::Matrix features = full.select_columns(selected);
+  stats::Matrix features = sparse.select_columns_dense(selected, cfg.threads);
   features.normalize_rows_l1();
 
   // 3. Cluster with k-means, choosing k by the silhouette 90% rule.
@@ -139,6 +180,40 @@ std::vector<double> vectorize_unit(const PhaseModel& model,
     for (double& x : v) x /= sum;
   }
   return v;
+}
+
+stats::Matrix vectorize_units(const PhaseModel& model,
+                              const ThreadProfile& profile,
+                              std::size_t threads) {
+  // Hoisted name → feature-index map (the profile's method ids differ from
+  // the training run's, names are the stable identity), shared read-only by
+  // all row blocks.
+  std::unordered_map<std::string_view, std::size_t> feature_of;
+  for (std::size_t f = 0; f < model.feature_names.size(); ++f) {
+    feature_of.emplace(model.feature_names[f], f);
+  }
+  const std::size_t n = profile.num_units();
+  stats::Matrix vectors(n, model.feature_names.size());
+  support::parallel_for(
+      threads, 0, n, 256,
+      [&](std::size_t, std::size_t cb, std::size_t ce) {
+        for (std::size_t u = cb; u < ce; ++u) {
+          auto v = vectors.row(u);
+          const UnitRecord& rec = profile.units[u];
+          double sum = 0.0;
+          for (std::size_t i = 0; i < rec.methods.size(); ++i) {
+            const auto& name = profile.method_names[rec.methods[i]];
+            if (auto it = feature_of.find(name); it != feature_of.end()) {
+              v[it->second] += static_cast<double>(rec.counts[i]);
+              sum += static_cast<double>(rec.counts[i]);
+            }
+          }
+          if (sum > 0.0) {
+            for (double& x : v) x /= sum;
+          }
+        }
+      });
+  return vectors;
 }
 
 void merge_equivalent_phases(PhaseModel& model, const ThreadProfile& profile,

@@ -16,6 +16,7 @@
 #include "stats/descriptive.h"
 #include "stats/kmeans.h"
 #include "stats/matrix.h"
+#include "stats/sparse.h"
 
 namespace simprof::core {
 
@@ -75,7 +76,14 @@ struct PhaseModel {
 };
 
 /// Full method-frequency matrix (units × methods), L1-row-normalized.
+/// Dense reference form — the hot paths use the CSR builder below and
+/// densify only selected columns; this stays as the equivalence oracle.
 stats::Matrix build_feature_matrix(const ThreadProfile& profile);
+
+/// The same matrix in CSR form, built directly from the unit records (a
+/// unit touches a few dozen methods out of thousands, so the dense form is
+/// ~99% zeros). Bitwise equivalent: to_dense() equals build_feature_matrix.
+stats::SparseMatrix build_sparse_feature_matrix(const ThreadProfile& profile);
 
 /// Fit phases on a profile.
 PhaseModel form_phases(const ThreadProfile& profile,
@@ -86,6 +94,14 @@ PhaseModel form_phases(const ThreadProfile& profile,
 std::vector<double> vectorize_unit(const PhaseModel& model,
                                    const ThreadProfile& profile,
                                    std::size_t unit_index);
+
+/// Vectorize every unit of a profile into a model's feature space — the
+/// batch form of vectorize_unit (one hoisted name→feature map, row blocks
+/// on the thread pool; threads = 0 → global default). Row u equals
+/// vectorize_unit(model, profile, u) bit for bit.
+stats::Matrix vectorize_units(const PhaseModel& model,
+                              const ThreadProfile& profile,
+                              std::size_t threads = 0);
 
 /// Figure 6: population / weighted / maximum CoV of CPI for a clustering.
 stats::CovSummary cov_summary(const ThreadProfile& profile,

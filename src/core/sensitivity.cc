@@ -2,12 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "obs/obs.h"
-#include "stats/kmeans.h"
+#include "stats/matrix.h"
 #include "support/assert.h"
-#include "support/thread_pool.h"
 
 namespace simprof::core {
 
@@ -21,37 +19,10 @@ std::vector<std::size_t> classify_units(const PhaseModel& trained,
                                         const ThreadProfile& reference,
                                         std::size_t threads) {
   SIMPROF_EXPECTS(trained.k > 0, "untrained model");
-
-  // Hoisted name → feature-index map (reference method ids differ from the
-  // training run's, names are the stable identity), shared read-only by all
-  // vectorization blocks.
-  std::unordered_map<std::string_view, std::size_t> feature_of;
-  for (std::size_t f = 0; f < trained.feature_names.size(); ++f) {
-    feature_of.emplace(trained.feature_names[f], f);
-  }
-
-  const std::size_t n = reference.num_units();
-  stats::Matrix vectors(n, trained.feature_names.size());
-  support::parallel_for(
-      threads, 0, n, 256,
-      [&](std::size_t, std::size_t cb, std::size_t ce) {
-        for (std::size_t u = cb; u < ce; ++u) {
-          auto v = vectors.row(u);
-          const UnitRecord& rec = reference.units[u];
-          double sum = 0.0;
-          for (std::size_t i = 0; i < rec.methods.size(); ++i) {
-            const auto& name = reference.method_names[rec.methods[i]];
-            if (auto it = feature_of.find(name); it != feature_of.end()) {
-              v[it->second] += static_cast<double>(rec.counts[i]);
-              sum += static_cast<double>(rec.counts[i]);
-            }
-          }
-          if (sum > 0.0) {
-            for (double& x : v) x /= sum;
-          }
-        }
-      });
-  // Bulk blocked nearest-center classification (matrix.h).
+  // Batch vectorization into the model's feature space (phase.h), then bulk
+  // blocked nearest-center classification on the PR 1 DistanceTable kernel
+  // (matrix.h) — both row-blocked on the thread pool.
+  const stats::Matrix vectors = vectorize_units(trained, reference, threads);
   return stats::nearest_centers(trained.centers, vectors, threads);
 }
 

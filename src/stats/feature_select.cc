@@ -1,25 +1,192 @@
 #include "stats/feature_select.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
-#include "stats/descriptive.h"
 #include "support/assert.h"
+#include "support/thread_pool.h"
 
 namespace simprof::stats {
 
-std::vector<double> f_regression(const Matrix& x, std::span<const double> y) {
+namespace {
+
+/// Column blocks of this width keep the dense kernel's accumulator set
+/// (5 arrays) inside L1 while each row streams contiguously through the
+/// block's columns.
+constexpr std::size_t kColBlock = 128;
+
+/// Per-column single-pass moments. `mn`/`mx` detect constant columns
+/// exactly — the moment difference Σx² − (Σx)²/n rounds to a tiny nonzero
+/// for constant columns, but min == max cannot lie.
+struct ColMoments {
+  double sx = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+};
+
+/// Moments of the target, accumulated in plain row order (shared verbatim
+/// by the dense and sparse kernels).
+struct TargetMoments {
+  double sy = 0.0;
+  double syy = 0.0;
+  double syy_centered = 0.0;
+};
+
+TargetMoments target_moments(std::span<const double> y) {
+  TargetMoments t;
+  for (double v : y) {
+    t.sy += v;
+    t.syy += v * v;
+  }
+  const double n = static_cast<double>(y.size());
+  t.syy_centered = t.syy - t.sy * t.sy / n;
+  return t;
+}
+
+double score_column(const ColMoments& m, const TargetMoments& t,
+                    std::size_t n) {
+  if (!(m.mn < m.mx)) return 0.0;  // constant column (or no finite spread)
+  const double dn = static_cast<double>(n);
+  const double sxx_c = m.sxx - m.sx * m.sx / dn;
+  if (sxx_c <= 0.0 || t.syy_centered <= 0.0) return 0.0;
+  const double sxy_c = m.sxy - m.sx * t.sy / dn;
+  const double r2 =
+      std::min((sxy_c * sxy_c) / (sxx_c * t.syy_centered), 1.0 - 1e-12);
+  return r2 / (1.0 - r2) * static_cast<double>(n - 2);
+}
+
+}  // namespace
+
+std::vector<double> f_regression(const Matrix& x, std::span<const double> y,
+                                 std::size_t threads) {
   SIMPROF_EXPECTS(x.rows() == y.size(), "row/target length mismatch");
   const std::size_t n = x.rows();
-  std::vector<double> scores(x.cols(), 0.0);
-  if (n < 3) return scores;
+  const std::size_t d = x.cols();
+  std::vector<double> scores(d, 0.0);
+  if (n < 3 || d == 0) return scores;
 
-  for (std::size_t c = 0; c < x.cols(); ++c) {
-    const auto col = x.column(c);
-    const double r = pearson(col, y);
-    const double r2 = std::min(r * r, 1.0 - 1e-12);
-    scores[c] = r2 / (1.0 - r2) * static_cast<double>(n - 2);
+  const TargetMoments ty = target_moments(y);
+  const std::size_t blocks = (d + kColBlock - 1) / kColBlock;
+  support::parallel_for(
+      threads, 0, blocks, 1,
+      [&](std::size_t, std::size_t bb, std::size_t be) {
+        for (std::size_t block = bb; block < be; ++block) {
+          const std::size_t c0 = block * kColBlock;
+          const std::size_t w = std::min(kColBlock, d - c0);
+          std::vector<ColMoments> total(w);
+          // One pass over the rows, folding fixed-size row chunks in chunk
+          // order (the same grid the sparse kernel merges on).
+          double psx[kColBlock], psxx[kColBlock], psxy[kColBlock];
+          for (std::size_t r0 = 0; r0 < n; r0 += kFRegressionRowChunk) {
+            const std::size_t r1 = std::min(n, r0 + kFRegressionRowChunk);
+            std::fill_n(psx, w, 0.0);
+            std::fill_n(psxx, w, 0.0);
+            std::fill_n(psxy, w, 0.0);
+            for (std::size_t r = r0; r < r1; ++r) {
+              const double* __restrict xr = x.row(r).data() + c0;
+              const double yr = y[r];
+              for (std::size_t j = 0; j < w; ++j) {
+                const double v = xr[j];
+                psx[j] += v;
+                psxx[j] += v * v;
+                psxy[j] += v * yr;
+                total[j].mn = std::min(total[j].mn, v);
+                total[j].mx = std::max(total[j].mx, v);
+              }
+            }
+            for (std::size_t j = 0; j < w; ++j) {
+              total[j].sx += psx[j];
+              total[j].sxx += psxx[j];
+              total[j].sxy += psxy[j];
+            }
+          }
+          for (std::size_t j = 0; j < w; ++j) {
+            scores[c0 + j] = score_column(total[j], ty, n);
+          }
+        }
+      });
+  return scores;
+}
+
+std::vector<double> f_regression(const SparseMatrix& x,
+                                 std::span<const double> y,
+                                 std::size_t threads) {
+  SIMPROF_EXPECTS(x.rows() == y.size(), "row/target length mismatch");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  std::vector<double> scores(d, 0.0);
+  if (n < 3 || d == 0) return scores;
+
+  const TargetMoments ty = target_moments(y);
+
+  // Row chunks on the same fixed grid as the dense kernel; each chunk
+  // scatters its rows (in row order) into chunk-local per-column partials.
+  struct ChunkAcc {
+    std::vector<double> sx, sxx, sxy, mn, mx;
+    std::vector<std::uint32_t> nnz;
+  };
+  const std::size_t chunks = (n + kFRegressionRowChunk - 1) / kFRegressionRowChunk;
+  std::vector<ChunkAcc> partial(chunks);
+  support::parallel_for(
+      threads, 0, chunks, 1,
+      [&](std::size_t, std::size_t cb, std::size_t ce) {
+        for (std::size_t chunk = cb; chunk < ce; ++chunk) {
+          ChunkAcc& a = partial[chunk];
+          a.sx.assign(d, 0.0);
+          a.sxx.assign(d, 0.0);
+          a.sxy.assign(d, 0.0);
+          a.mn.assign(d, std::numeric_limits<double>::infinity());
+          a.mx.assign(d, -std::numeric_limits<double>::infinity());
+          a.nnz.assign(d, 0);
+          const std::size_t r0 = chunk * kFRegressionRowChunk;
+          const std::size_t r1 = std::min(n, r0 + kFRegressionRowChunk);
+          for (std::size_t r = r0; r < r1; ++r) {
+            const auto row = x.row(r);
+            const double yr = y[r];
+            for (std::size_t i = 0; i < row.cols.size(); ++i) {
+              const std::size_t c = row.cols[i];
+              const double v = row.vals[i];
+              a.sx[c] += v;
+              a.sxx[c] += v * v;
+              a.sxy[c] += v * yr;
+              a.mn[c] = std::min(a.mn[c], v);
+              a.mx[c] = std::max(a.mx[c], v);
+              ++a.nnz[c];
+            }
+          }
+        }
+      });
+
+  // Ordered merge (chunk 0, 1, …) — the fold order the dense kernel uses,
+  // so the two paths agree bit for bit.
+  std::vector<ColMoments> total(d);
+  std::vector<std::uint64_t> nnz(d, 0);
+  for (const ChunkAcc& a : partial) {
+    for (std::size_t c = 0; c < d; ++c) {
+      total[c].sx += a.sx[c];
+      total[c].sxx += a.sxx[c];
+      total[c].sxy += a.sxy[c];
+      total[c].mn = std::min(total[c].mn, a.mn[c]);
+      total[c].mx = std::max(total[c].mx, a.mx[c]);
+      nnz[c] += a.nnz[c];
+    }
   }
+  support::parallel_for(
+      threads, 0, d, 4096,
+      [&](std::size_t, std::size_t cb, std::size_t ce) {
+        for (std::size_t c = cb; c < ce; ++c) {
+          ColMoments m = total[c];
+          if (nnz[c] < n) {  // the implicit zeros the dense walk would see
+            m.mn = std::min(m.mn, 0.0);
+            m.mx = std::max(m.mx, 0.0);
+          }
+          scores[c] = score_column(m, ty, n);
+        }
+      });
   return scores;
 }
 

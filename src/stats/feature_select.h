@@ -7,6 +7,14 @@
 // feature column and the target. Constant columns (e.g. the executor-thread
 // start-up methods appearing in every unit) score 0 and are dropped — exactly
 // the elimination the paper describes for Figure 5.
+//
+// Both kernels are single-pass: per column they accumulate Σx, Σx², Σxy (and
+// min/max, which detects constant columns robustly) over rows in fixed
+// chunks of kFRegressionRowChunk rows, folding chunk partials in chunk
+// order. The chunk grid depends only on the row count, never on the thread
+// count, so results are bit-identical for any `threads` value — and because
+// implicit zeros are exact no-op additions, the sparse kernel's scores are
+// bitwise equal to the dense kernel's on the equivalent matrix.
 #pragma once
 
 #include <cstddef>
@@ -14,12 +22,26 @@
 #include <vector>
 
 #include "stats/matrix.h"
+#include "stats/sparse.h"
 
 namespace simprof::stats {
 
+/// Fixed row-chunk size of the accumulation grid (shared by the dense and
+/// sparse kernels so their fold order — and therefore their bits — match).
+inline constexpr std::size_t kFRegressionRowChunk = 1024;
+
 /// F-statistic per feature column of X against target y. Returns X.cols()
-/// scores; constant columns (or constant y) score 0.
-std::vector<double> f_regression(const Matrix& x, std::span<const double> y);
+/// scores; constant columns (or constant y) score 0. Parallel over column
+/// blocks (threads = 0 → global default); bit-identical for any value.
+std::vector<double> f_regression(const Matrix& x, std::span<const double> y,
+                                 std::size_t threads = 0);
+
+/// The same scores computed from the CSR form without densifying — parallel
+/// over row chunks with an ordered merge. Bitwise equal to the dense
+/// overload on x.to_dense().
+std::vector<double> f_regression(const SparseMatrix& x,
+                                 std::span<const double> y,
+                                 std::size_t threads = 0);
 
 /// Indices of the top-k scores (ties broken toward the lower index, output
 /// sorted ascending so column selection is stable). k is clamped to the

@@ -8,13 +8,6 @@
 
 namespace simprof::stats {
 
-std::vector<double> Matrix::column(std::size_t c) const {
-  SIMPROF_EXPECTS(c < cols_, "column out of range");
-  std::vector<double> out(rows_);
-  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
-  return out;
-}
-
 Matrix Matrix::select_columns(std::span<const std::size_t> cols) const {
   Matrix out(rows_, cols.size());
   for (std::size_t r = 0; r < rows_; ++r) {

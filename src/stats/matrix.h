@@ -41,9 +41,26 @@ class Matrix {
   std::span<const double> flat() const { return data_; }
   std::span<double> flat_mut() { return data_; }
 
-  /// Copy of one column (columns are strided; callers usually need them
-  /// contiguous for the univariate regression test).
-  std::vector<double> column(std::size_t c) const;
+  /// Zero-copy strided view of one column. Replaces the old copying
+  /// column() accessor: hot loops (univariate regression, naive reference
+  /// checks) walk the stride instead of allocating an O(rows) vector per
+  /// feature column.
+  class ColumnView {
+   public:
+    ColumnView(const double* base, std::size_t stride, std::size_t size)
+        : base_(base), stride_(stride), size_(size) {}
+    std::size_t size() const { return size_; }
+    double operator[](std::size_t i) const { return base_[i * stride_]; }
+
+   private:
+    const double* base_;
+    std::size_t stride_;
+    std::size_t size_;
+  };
+  ColumnView column_view(std::size_t c) const {
+    SIMPROF_EXPECTS(c < cols_, "column out of range");
+    return ColumnView(data_.data() + c, cols_, rows_);
+  }
 
   /// Keep only the given columns, in the given order.
   Matrix select_columns(std::span<const std::size_t> cols) const;

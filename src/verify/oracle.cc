@@ -361,6 +361,52 @@ VerifyReport verify_statistics(const OracleConfig& cfg) {
                    std::to_string(scores[2]));
   }
 
+  // --- Feature selection vs the textbook formula: the single-pass blocked
+  // kernel must agree with a naive O(n·d) per-column Pearson r → F
+  // conversion on a wide random matrix (mix of signal, noise, and a
+  // constant column). The naive path copies each column and runs the
+  // two-pass centered pearson() — deliberately the slow reference.
+  {
+    Rng rng = Rng::stream(cfg.seed, 0xF2E6);
+    const std::size_t n = 96, d = 48;
+    stats::Matrix x(n, d);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) y[i] = rng.next_double(0.0, 2.0);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double slope = (f % 3 == 0) ? rng.next_double(-2.0, 2.0) : 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        x.at(i, f) = slope * y[i] + rng.next_gaussian();
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) x.at(i, 7) = 3.25;  // constant column
+    const auto scores = stats::f_regression(x, y);
+    bool ok = scores.size() == d;
+    double worst = 0.0;
+    std::size_t worst_col = 0;
+    for (std::size_t f = 0; ok && f < d; ++f) {
+      std::vector<double> col(n);
+      const auto view = x.column_view(f);
+      for (std::size_t i = 0; i < n; ++i) col[i] = view[i];
+      const double r = stats::pearson(col, y);
+      double expect = 0.0;
+      if (f != 7) {
+        const double r2 = std::min(r * r, 1.0 - 1e-12);
+        expect = r2 / (1.0 - r2) * static_cast<double>(n - 2);
+      }
+      const double err =
+          std::abs(scores[f] - expect) / std::max(1.0, std::abs(expect));
+      if (err > worst) {
+        worst = err;
+        worst_col = f;
+      }
+      ok = ok && err < 1e-9;
+    }
+    report.add("oracle.f_regression_matches_naive_pearson", ok,
+               "worst relative error " + std::to_string(worst) + " at column " +
+                   std::to_string(worst_col) + " over " + std::to_string(d) +
+                   " columns");
+  }
+
   for (const auto& c : report.checks) {
     if (!c.passed) oracle_failures.increment();
     report.fingerprint = fnv1a(report.fingerprint, c.passed);

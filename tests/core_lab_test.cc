@@ -1,0 +1,153 @@
+// WorkloadLab::run_batch: bit-identity with serial run() calls for any
+// thread count, duplicate-key dedup, cache-aware hit/miss scheduling, and
+// single-flight serialization of concurrent same-key runs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/lab.h"
+#include "obs/obs.h"
+
+namespace simprof::core {
+namespace {
+
+LabConfig small_lab(const char* dir) {
+  LabConfig cfg;
+  cfg.scale = 0.05;
+  cfg.graph_scale_override = 12;
+  cfg.cache_dir = dir;
+  return cfg;
+}
+
+class ScratchDir {
+ public:
+  ScratchDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("simprof_lab_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  const char* c_str() const { return path_.c_str(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+std::string profile_bytes(const ThreadProfile& p) {
+  std::ostringstream os(std::ios::binary);
+  p.save(os);
+  return os.str();
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::metrics().counter(name).value();
+}
+
+TEST(LabBatch, EmptyBatchIsANoOp) {
+  ScratchDir dir;
+  WorkloadLab lab(small_lab(dir.c_str()));
+  EXPECT_TRUE(lab.run_batch({}).empty());
+}
+
+TEST(LabBatch, MatchesSerialRunsBitIdentical) {
+  // Serial reference runs in their own cache dir.
+  ScratchDir serial_dir;
+  WorkloadLab serial(small_lab(serial_dir.c_str()));
+  const std::vector<BatchItem> items = {
+      {"grep_sp", "Google", {}},
+      {"wc_sp", "Google", {}},
+      {"grep_sp", "Google", std::uint64_t{77}},  // distinct seed → new key
+  };
+  std::vector<std::string> expect;
+  expect.push_back(profile_bytes(serial.run("grep_sp").profile));
+  expect.push_back(profile_bytes(serial.run("wc_sp").profile));
+  {
+    LabConfig seeded = small_lab(serial_dir.c_str());
+    seeded.seed = 77;
+    expect.push_back(
+        profile_bytes(WorkloadLab(seeded).run("grep_sp").profile));
+  }
+
+  for (std::size_t threads : {1u, 4u}) {
+    ScratchDir dir;
+    LabConfig cfg = small_lab(dir.c_str());
+    cfg.threads = threads;
+    WorkloadLab lab(cfg);
+    const auto runs = lab.run_batch(items);
+    ASSERT_EQ(runs.size(), items.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      EXPECT_FALSE(runs[i].from_cache) << i;
+      EXPECT_EQ(profile_bytes(runs[i].profile), expect[i])
+          << "item " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(LabBatch, DuplicateItemsRunOnceAndCountDedup) {
+  ScratchDir dir;
+  LabConfig cfg = small_lab(dir.c_str());
+  cfg.threads = 4;
+  WorkloadLab lab(cfg);
+  const std::uint64_t dedup0 = counter_value("lab.batch_dedup");
+  const std::uint64_t misses0 = counter_value("lab.cache_misses");
+  const std::vector<BatchItem> items = {{"grep_sp", "Google", {}},
+                                        {"grep_sp", "Google", {}},
+                                        {"grep_sp", "Google", {}}};
+  const auto runs = lab.run_batch(items);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(counter_value("lab.batch_dedup") - dedup0, 2u);
+  EXPECT_EQ(counter_value("lab.cache_misses") - misses0, 1u);
+  const std::string bytes = profile_bytes(runs[0].profile);
+  EXPECT_EQ(profile_bytes(runs[1].profile), bytes);
+  EXPECT_EQ(profile_bytes(runs[2].profile), bytes);
+}
+
+TEST(LabBatch, MixedHitsAndMissesKeepItemOrder) {
+  ScratchDir dir;
+  LabConfig cfg = small_lab(dir.c_str());
+  cfg.threads = 2;
+  WorkloadLab lab(cfg);
+  const auto warm = lab.run("grep_sp");  // populate one key
+  const auto runs = lab.run_batch({{"wc_sp", "Google", {}},
+                                   {"grep_sp", "Google", {}}});
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_FALSE(runs[0].from_cache);
+  EXPECT_TRUE(runs[1].from_cache);
+  EXPECT_EQ(profile_bytes(runs[1].profile), profile_bytes(warm.profile));
+}
+
+TEST(LabSingleFlight, ConcurrentSameKeyRunsOracleOnce) {
+  ScratchDir dir;
+  WorkloadLab lab(small_lab(dir.c_str()));
+  const std::uint64_t misses0 = counter_value("lab.cache_misses");
+  const std::uint64_t hits0 = counter_value("lab.cache_hits");
+  const std::uint64_t dedup0 = counter_value("lab.batch_dedup");
+
+  constexpr std::size_t kCallers = 4;
+  std::vector<std::string> bytes(kCallers);
+  std::vector<std::thread> callers;
+  for (std::size_t i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&, i] {
+      bytes[i] = profile_bytes(lab.run("grep_sp").profile);
+    });
+  }
+  for (auto& t : callers) t.join();
+
+  // Exactly one oracle pass; every other caller decoded the published
+  // profile (a cache hit), either on the unlocked fast path or as a
+  // single-flight dedup inside the key lock (which counts both).
+  EXPECT_EQ(counter_value("lab.cache_misses") - misses0, 1u);
+  EXPECT_EQ(counter_value("lab.cache_hits") - hits0, kCallers - 1);
+  EXPECT_LE(counter_value("lab.batch_dedup") - dedup0, kCallers - 1);
+  for (std::size_t i = 1; i < kCallers; ++i) {
+    EXPECT_EQ(bytes[i], bytes[0]) << "caller " << i;
+  }
+}
+
+}  // namespace
+}  // namespace simprof::core

@@ -11,6 +11,7 @@
 #include "core/phase.h"
 #include "core/profile.h"
 #include "core/sensitivity.h"
+#include "stats/feature_select.h"
 #include "stats/kmeans.h"
 #include "stats/silhouette.h"
 #include "support/rng.h"
@@ -102,6 +103,20 @@ TEST(ParallelDeterminism, SilhouettesIdenticalAcrossThreadCounts) {
               simpl1);
     EXPECT_EQ(stats::sampled_silhouette(pts, r.labels, 4, 100, 1234, t),
               sampl1);
+  }
+}
+
+TEST(ParallelDeterminism, FRegressionIdenticalAcrossThreadCounts) {
+  // 2100 rows × 300 columns: the column-blocked kernel sees three blocks of
+  // 128 and the row loop crosses the fixed 1024-row chunk grid twice, so
+  // every fold boundary of the parallel decomposition is exercised.
+  const stats::Matrix x = clustered_points(2100, 300, 5, 17);
+  Rng rng(31);
+  std::vector<double> y(x.rows());
+  for (auto& v : y) v = rng.next_double(0.0, 2.0);
+  const auto base = stats::f_regression(x, y, 1);
+  for (std::size_t t : {2u, 4u, 8u}) {
+    EXPECT_EQ(stats::f_regression(x, y, t), base) << "threads=" << t;
   }
 }
 

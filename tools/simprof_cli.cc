@@ -11,9 +11,11 @@
 //   simprof verify  [--cases N] [--seed N] [--resamples N] [--skip-lab]
 //
 // Global flags (any subcommand):
-//   --threads N       worker count for the parallel phase-formation engine
-//                     (default: hardware_concurrency; results bit-identical
-//                     for any N)
+//   --threads N       worker count for the parallel engines: phase
+//                     formation and the batched lab pipeline (`sensitivity`
+//                     profiles its training + reference inputs as one
+//                     lab.run_batch). Default: hardware_concurrency;
+//                     results bit-identical for any N.
 //   --log-level L     trace|debug|info|warn|error|off (default: info, or
 //                     $SIMPROF_LOG_LEVEL)
 //   --metrics-out F   write a JSON metrics snapshot on exit
@@ -58,7 +60,9 @@ struct FlagSpec {
 };
 
 const std::vector<FlagSpec> kGlobalFlags = {
-    {"threads", "N", "phase-formation worker threads (0 = hardware)"},
+    {"threads", "N",
+     "worker threads for phase formation and batched lab runs "
+     "(0 = hardware; output bit-identical for any N)"},
     {"log-level", "LEVEL", "trace|debug|info|warn|error|off (default info)"},
     {"metrics-out", "FILE", "write a JSON metrics snapshot on exit"},
     {"trace-out", "FILE", "write Chrome trace events (Perfetto) on exit"},
@@ -390,19 +394,27 @@ int cmd_sensitivity(const Args& args) {
   cfg.seed = std::stoull(args.opt("seed", "42"));
   core::WorkloadLab lab(cfg);
   const std::string train_name = args.opt("train", "Google");
-  const auto train = lab.run(workload, train_name);
-  const auto model = core::form_phases(train.profile);
-
-  std::vector<core::ThreadProfile> refs;
+  // One batch covers the training input and every reference: cache misses
+  // simulate concurrently on the thread pool (--threads), hits decode
+  // alongside them, and the results are bit-identical to serial runs.
+  std::vector<core::BatchItem> items;
+  items.push_back({workload, train_name, {}});
   std::vector<std::string> names;
   for (const auto& e : data::snap_catalog()) {
     if (e.name == train_name) continue;
-    std::cout << "profiling reference " << e.name << "...\n";
-    refs.push_back(lab.run(workload, e.name).profile);
+    items.push_back({workload, e.name, {}});
     names.push_back(e.name);
   }
+  std::cout << "profiling " << train_name << " + " << names.size()
+            << " reference inputs as one batch...\n";
+  auto runs = lab.run_batch(items);
+  const auto train = std::move(runs.front());
+  const auto model = core::form_phases(train.profile);
+
   std::vector<const core::ThreadProfile*> ptrs;
-  for (const auto& r : refs) ptrs.push_back(&r);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ptrs.push_back(&runs[i].profile);
+  }
   const auto report = core::input_sensitivity_test(model, ptrs, names);
   std::cout << report.num_sensitive() << "/" << model.k
             << " phases input-sensitive; simulation points needed per "
