@@ -107,6 +107,10 @@ inline const std::vector<std::string>& graph_config_names() {
 inline core::LabConfig lab_config() {
   core::LabConfig cfg;
   if (const char* s = std::getenv("SIMPROF_SCALE")) cfg.scale = atof(s);
+  // Figure benches sweep dozens of configurations and only consume the
+  // profiles, so checkpoint recording (≈100MB of archives per oracle pass)
+  // stays off here; perf_checkpoint re-enables it for its warm lab.
+  cfg.checkpoint_stride = 0;
   return cfg;
 }
 

@@ -1,11 +1,16 @@
-// Figure 7: CPI sampling error of the four techniques at sample size 20.
+// Figure 7: CPI sampling error of the sampling techniques at sample size 20.
 //
 // Expected shape (paper: SECOND 6.5%, SRS 8.9%, CODE 4.0%, SimProf 1.6% on
 // average): SimProf clearly lowest; SRS/SECOND/CODE each fail somewhere —
 // SECOND misses late execution stages, SRS suffers on high-variance runs,
 // CODE cannot represent phases whose performance varies under one code
-// signature. Probabilistic techniques (SRS, SimProf) are averaged over
-// several seeds so single lucky/unlucky draws don't dominate the table.
+// signature. SMARTS (systematic sampling with checkpointed measurement,
+// Wunderlich et al.) is added as a fifth column: its selection math is
+// systematic, so its error sits between SRS and SimProf; its advantage is
+// measurement cost (O(selected units) via WorkloadLab::measure_units), not
+// accuracy. Probabilistic techniques (SRS, SimProf, SMARTS with its random
+// offset) are averaged over several seeds so single lucky/unlucky draws
+// don't dominate the table.
 #include <iostream>
 
 #include "bench_common.h"
@@ -18,8 +23,8 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 7 — CPI sampling error (sample size "
             << bench::kFig7SampleSize << ")\n";
-  Table table({"config", "SECOND", "SRS", "CODE", "SimProf"});
-  double sums[4] = {};
+  Table table({"config", "SECOND", "SRS", "CODE", "SMARTS", "SimProf"});
+  double sums[5] = {};
   const auto runs = bench::run_configs(lab, bench::config_names());
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const auto& name = bench::config_names()[i];
@@ -31,27 +36,33 @@ int main(int argc, char** argv) {
         prof);
     const double e_code =
         core::relative_error(core::code_sample(prof, model), prof);
-    double e_srs = 0.0, e_simprof = 0.0;
+    double e_srs = 0.0, e_smarts = 0.0, e_simprof = 0.0;
     for (int s = 0; s < bench::kErrorRepetitions; ++s) {
       e_srs += core::relative_error(
           core::srs_sample(prof, bench::kFig7SampleSize, 1000 + s), prof);
+      e_smarts += core::relative_error(
+          core::smarts_sample(prof, bench::kFig7SampleSize, 1000 + s), prof);
       e_simprof += core::relative_error(
           core::simprof_sample(prof, model, bench::kFig7SampleSize, 1000 + s),
           prof);
     }
     e_srs /= bench::kErrorRepetitions;
+    e_smarts /= bench::kErrorRepetitions;
     e_simprof /= bench::kErrorRepetitions;
 
     table.row({name, Table::pct(e_second), Table::pct(e_srs),
-               Table::pct(e_code), Table::pct(e_simprof)});
+               Table::pct(e_code), Table::pct(e_smarts),
+               Table::pct(e_simprof)});
     sums[0] += e_second;
     sums[1] += e_srs;
     sums[2] += e_code;
-    sums[3] += e_simprof;
+    sums[3] += e_smarts;
+    sums[4] += e_simprof;
   }
   const double n = static_cast<double>(bench::config_names().size());
   table.row({"average", Table::pct(sums[0] / n), Table::pct(sums[1] / n),
-             Table::pct(sums[2] / n), Table::pct(sums[3] / n)});
+             Table::pct(sums[2] / n), Table::pct(sums[3] / n),
+             Table::pct(sums[4] / n)});
   table.print(std::cout);
   return 0;
 }

@@ -19,20 +19,24 @@
 # Usage: bench/run_lab_pipeline.sh [extra google-benchmark flags]
 set -e
 cd "$(dirname "$0")/.."
+. bench/bench_prelude.sh
+bench_build perf_lab
 
 metrics_tmp=$(mktemp)
 trap 'rm -f "$metrics_tmp"' EXIT
 
-./build/bench/perf_lab \
+"$BENCH_BUILD_DIR"/bench/perf_lab \
   --metrics-out "$metrics_tmp" \
   --benchmark_out=BENCH_lab_pipeline.json \
   --benchmark_out_format=json \
   --benchmark_context=seed_pipeline=dense_column_copy_pearson_serial \
   --benchmark_context=host_cores="$(nproc)" \
+  --benchmark_context=build_type="$SIMPROF_BUILD_TYPE" \
+  --benchmark_context=git_sha="$SIMPROF_GIT_SHA" \
   "$@"
 
 python3 - "$metrics_tmp" <<'EOF'
-import json, sys
+import json, os, sys
 
 with open("BENCH_lab_pipeline.json") as f:
     bench = json.load(f)
@@ -54,6 +58,8 @@ for threads in (1, 2, 4, 8):
     if naive and t:
         speedup["pipeline_x%d" % threads] = round(naive / t, 2)
 
+bench["build_type"] = os.environ.get("SIMPROF_BUILD_TYPE", "unknown")
+bench["git_sha"] = os.environ.get("SIMPROF_GIT_SHA", "unknown")
 bench["simprof_metrics"] = {
     "lab": lab,
     "pool": pool,

@@ -13,11 +13,13 @@
 # Usage: bench/run_phase_formation.sh [extra google-benchmark flags]
 set -e
 cd "$(dirname "$0")/.."
+. bench/bench_prelude.sh
+bench_build perf_core
 
 metrics_tmp=$(mktemp)
 trap 'rm -f "$metrics_tmp"' EXIT
 
-./build/bench/perf_core \
+"$BENCH_BUILD_DIR"/bench/perf_core \
   --metrics-out "$metrics_tmp" \
   --benchmark_filter='BM_KMeans|BM_ChooseK|BM_Silhouette|BM_FormPhases' \
   --benchmark_out=BENCH_phase_formation.json \
@@ -26,10 +28,12 @@ trap 'rm -f "$metrics_tmp"' EXIT
   --benchmark_context=seed_BM_ChooseK_800_ms=381 \
   --benchmark_context=seed_BM_KMeans_20_ms=27.7 \
   --benchmark_context=seed_BM_SilhouetteSampled_ms=10.0 \
+  --benchmark_context=build_type="$SIMPROF_BUILD_TYPE" \
+  --benchmark_context=git_sha="$SIMPROF_GIT_SHA" \
   "$@"
 
 python3 - "$metrics_tmp" <<'EOF'
-import json, sys
+import json, os, sys
 
 with open("BENCH_phase_formation.json") as f:
     bench = json.load(f)
@@ -41,6 +45,8 @@ pool = {k.split(".", 1)[1]: v for k, v in counters.items()
         if k.startswith("pool.")}
 keep = {name: metrics.get("histograms", {}).get(name)
         for name in ("kmeans.lloyd_iterations", "silhouette.sample_size")}
+bench["build_type"] = os.environ.get("SIMPROF_BUILD_TYPE", "unknown")
+bench["git_sha"] = os.environ.get("SIMPROF_GIT_SHA", "unknown")
 bench["simprof_metrics"] = {
     "pool": pool,
     "choose_k_sweeps": counters.get("choose_k.sweeps", 0),

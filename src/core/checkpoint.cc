@@ -1,0 +1,549 @@
+#include "core/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/obs.h"
+#include "support/assert.h"
+
+namespace simprof::core {
+
+namespace {
+
+// Local FNV-1a (64-bit): core cannot depend on src/verify, and the hash only
+// needs to be stable within the archive format version.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* p, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void write_counters(BinaryWriter& w, const hw::PmuCounters& c) {
+  w.u64(c.instructions);
+  w.u64(c.cycles);
+  w.u64(c.line_touches);
+  w.u64(c.l1_misses);
+  w.u64(c.l2_misses);
+  w.u64(c.llc_misses);
+  w.u64(c.migrations);
+}
+
+hw::PmuCounters read_counters(BinaryReader& r) {
+  hw::PmuCounters c;
+  c.instructions = r.u64();
+  c.cycles = r.u64();
+  c.line_touches = r.u64();
+  c.l1_misses = r.u64();
+  c.l2_misses = r.u64();
+  c.llc_misses = r.u64();
+  c.migrations = r.u64();
+  return c;
+}
+
+/// The state section of the payload: run identity + profiled thread +
+/// profiled cache hierarchy, captured at the unit boundary the archive
+/// restores to.
+void encode_state(BinaryWriter& w, const exec::Cluster& cluster,
+                  const std::string& cache_key, std::uint64_t unit_index) {
+  const exec::ClusterConfig& cfg = cluster.config();
+  const exec::ThreadState st =
+      cluster.context(cfg.profiled_core).capture_state();
+
+  w.str(cache_key);
+  w.u64(unit_index);
+  w.u64(cfg.unit_instrs);
+  w.u32(cluster.num_cores());
+  w.u32(cfg.profiled_core);
+
+  write_counters(w, st.counters);
+  w.f64(st.cycles_acc);
+  w.u64(st.thread_id);
+  for (const std::uint64_t s : st.rng.s) w.u64(s);
+  w.u8(st.rng.have_spare_gaussian ? 1 : 0);
+  w.f64(st.rng.spare_gaussian);
+  w.u64(st.next_snapshot_at);
+  w.u64(st.next_unit_at);
+  write_counters(w, st.unit_start_counters);
+  w.vec_u32(st.frames);
+
+  cluster.memory().l1(cfg.profiled_core).save_state(w);
+  cluster.memory().l2(cfg.profiled_core).save_state(w);
+  cluster.memory().llc().save_state(w);
+}
+
+// Tape references are stored column-wise — one bulk u64 array of line
+// addresses plus one byte-string of flag bits per op — so encode/decode is
+// two block transfers per op instead of two stream reads per reference
+// (restore latency is the denominator of the checkpoint speedup).
+void write_tape(BinaryWriter& w, const CheckpointTape& tape) {
+  std::vector<std::uint64_t> lines;
+  std::string flags;
+  w.u64(tape.size());
+  for (const TapeOp& op : tape) {
+    w.u64(op.instrs);
+    w.u32(op.llc_ways);
+    w.vec_u32(op.frames);
+    lines.clear();
+    lines.reserve(op.refs.size());
+    flags.clear();
+    flags.reserve(op.refs.size());
+    for (const hw::MemRef& ref : op.refs) {
+      lines.push_back(ref.line);
+      flags.push_back(static_cast<char>((ref.write ? 1 : 0) |
+                                        (ref.prefetchable ? 2 : 0)));
+    }
+    w.vec_u64(lines);
+    w.str(flags);
+  }
+}
+
+CheckpointTape read_tape(BinaryReader& r) {
+  CheckpointTape tape(r.u64());
+  for (TapeOp& op : tape) {
+    op.instrs = r.u64();
+    op.llc_ways = r.u32();
+    op.frames = r.vec_u32();
+    const std::vector<std::uint64_t> lines = r.vec_u64();
+    const std::string flags = r.str();
+    if (flags.size() != lines.size()) {
+      throw CheckpointError("corrupt archive: tape ref columns disagree");
+    }
+    op.refs.resize(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      op.refs[i].line = lines[i];
+      op.refs[i].write = (flags[i] & 1) != 0;
+      op.refs[i].prefetchable = (flags[i] & 2) != 0;
+    }
+  }
+  return tape;
+}
+
+void write_archive(std::ostream& out, const std::string& payload) {
+  BinaryWriter w(out);
+  w.u32(kCheckpointMagic);
+  w.u32(kCheckpointVersion);
+  w.u64(fnv1a_bytes(kFnvOffset, payload.data(), payload.size()));
+  w.str(payload);
+}
+
+/// Replays a recorded chunk's reference sequence verbatim.
+class ReplayStream final : public hw::AccessStream {
+ public:
+  explicit ReplayStream(const std::vector<hw::MemRef>& refs) : refs_(refs) {}
+
+  bool next(hw::MemRef& out) override {
+    if (pos_ >= refs_.size()) return false;
+    out = refs_[pos_++];
+    return true;
+  }
+  std::uint64_t total_refs() const override { return refs_.size(); }
+  void skip(std::uint64_t n) override {
+    pos_ = std::min<std::uint64_t>(refs_.size(), pos_ + n);
+  }
+  std::uint64_t remaining() const override { return refs_.size() - pos_; }
+
+ private:
+  const std::vector<hw::MemRef>& refs_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string checkpoint_file_name(std::uint64_t unit_index) {
+  return "ckpt-u" + std::to_string(unit_index) + ".sckp";
+}
+
+void save_checkpoint(std::ostream& out, const exec::Cluster& cluster,
+                     const std::string& cache_key, std::uint64_t unit_index,
+                     const CheckpointTape& tape) {
+  std::ostringstream payload_stream;
+  {
+    BinaryWriter w(payload_stream);
+    encode_state(w, cluster, cache_key, unit_index);
+    write_tape(w, tape);
+  }
+  write_archive(out, payload_stream.str());
+}
+
+std::uint64_t load_checkpoint(std::istream& in, exec::Cluster& cluster,
+                              const std::string& cache_key,
+                              std::uint64_t expect_unit,
+                              CheckpointTape* tape_out) {
+  std::string payload;
+  {
+    BinaryReader r(in);
+    if (r.u32() != kCheckpointMagic) {
+      throw CheckpointError("not a checkpoint archive (bad magic)");
+    }
+    if (const auto v = r.u32(); v != kCheckpointVersion) {
+      throw CheckpointError("unsupported checkpoint version " +
+                            std::to_string(v));
+    }
+    const std::uint64_t expect_hash = r.u64();
+    payload = r.str();
+    if (fnv1a_bytes(kFnvOffset, payload.data(), payload.size()) !=
+        expect_hash) {
+      throw CheckpointError("corrupt archive: checkpoint payload hash "
+                            "mismatch");
+    }
+  }
+
+  const std::uint64_t payload_size = payload.size();
+  std::istringstream payload_stream(std::move(payload));
+  BinaryReader r(payload_stream);
+
+  if (r.str() != cache_key) {
+    throw CheckpointError("checkpoint belongs to a different run");
+  }
+  const std::uint64_t unit_index = r.u64();
+  if (unit_index != expect_unit) {
+    throw CheckpointError("checkpoint is for unit " +
+                          std::to_string(unit_index) + ", expected " +
+                          std::to_string(expect_unit));
+  }
+  const exec::ClusterConfig& cfg = cluster.config();
+  if (r.u64() != cfg.unit_instrs) {
+    throw CheckpointError("checkpoint unit size mismatch");
+  }
+  if (r.u32() != cluster.num_cores() || r.u32() != cfg.profiled_core) {
+    throw CheckpointError("checkpoint cluster geometry mismatch");
+  }
+
+  exec::ThreadState st;
+  st.counters = read_counters(r);
+  st.cycles_acc = r.f64();
+  st.thread_id = r.u64();
+  for (std::uint64_t& s : st.rng.s) s = r.u64();
+  st.rng.have_spare_gaussian = r.u8() != 0;
+  st.rng.spare_gaussian = r.f64();
+  st.next_snapshot_at = r.u64();
+  st.next_unit_at = r.u64();
+  st.unit_start_counters = read_counters(r);
+  st.frames = r.vec_u32();
+
+  // Archive self-consistency: the saved position must be the boundary the
+  // file name / caller claims. This is a property of the archive alone — the
+  // live cluster's history is irrelevant under impose semantics.
+  if (st.counters.instructions != unit_index * cfg.unit_instrs) {
+    throw CheckpointError("checkpoint instruction position mismatch");
+  }
+
+  // Parse the caches and the tape into scratch copies first: load_state
+  // throws on geometry mismatch, and a half-restored hierarchy must never be
+  // left behind when we report failure.
+  hw::Cache l1(cfg.memory.l1);
+  hw::Cache l2(cfg.memory.l2);
+  hw::Cache llc(cfg.memory.llc);
+  l1.load_state(r);
+  l2.load_state(r);
+  llc.load_state(r);
+  CheckpointTape tape = read_tape(r);
+
+  exec::ExecutorContext& ctx = cluster.context(cfg.profiled_core);
+  ctx.restore_state(st);
+  cluster.memory().l1(cfg.profiled_core) = l1;
+  cluster.memory().l2(cfg.profiled_core) = l2;
+  cluster.memory().llc() = llc;
+  if (tape_out != nullptr) *tape_out = std::move(tape);
+  return payload_size;
+}
+
+CheckpointRecorder::CheckpointRecorder(std::string dir, std::string cache_key,
+                                       std::uint64_t stride)
+    : dir_(std::move(dir)), cache_key_(std::move(cache_key)),
+      stride_(stride) {}
+
+exec::ExecMode CheckpointRecorder::on_unit_start(std::uint64_t unit_index,
+                                                 exec::ExecutorContext& ctx) {
+  if (stride_ == 0 || unit_index % stride_ != 0) {
+    return exec::ExecMode::kDetailed;
+  }
+  publish_window();
+  // Open the next window: capture the state payload right now — this is the
+  // governor sequence point, after the boundary's migration draw, which is
+  // exactly where a replayer resumes — and buffer chunks until the window
+  // closes at the next stride boundary (or finalize()).
+  std::ostringstream state_stream;
+  {
+    BinaryWriter w(state_stream);
+    encode_state(w, ctx.cluster(), cache_key_, unit_index);
+  }
+  window_state_ = state_stream.str();
+  window_unit_ = unit_index;
+  tape_.clear();
+  window_open_ = true;
+  return exec::ExecMode::kDetailed;
+}
+
+void CheckpointRecorder::on_chunk(std::uint64_t instrs,
+                                  std::span<const hw::MemRef> refs,
+                                  std::uint32_t llc_ways,
+                                  std::span<const jvm::MethodId> frames) {
+  if (!window_open_ || (instrs == 0 && refs.empty())) return;
+  TapeOp op;
+  op.instrs = instrs;
+  op.llc_ways = llc_ways;
+  op.frames.assign(frames.begin(), frames.end());
+  op.refs.assign(refs.begin(), refs.end());
+  tape_.push_back(std::move(op));
+}
+
+void CheckpointRecorder::finalize() { publish_window(); }
+
+void CheckpointRecorder::publish_window() {
+  if (!window_open_) return;
+  window_open_ = false;
+  static obs::Counter& saves = obs::metrics().counter("ckpt.save");
+  static obs::Counter& save_bytes = obs::metrics().counter("ckpt.save_bytes");
+  obs::ObsSpan span("ckpt.save", {{"unit", window_unit_}});
+
+  const std::string path =
+      (std::filesystem::path(dir_) / checkpoint_file_name(window_unit_))
+          .string();
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  try {
+    if (!dir_ready_) {
+      std::filesystem::create_directories(dir_);
+      dir_ready_ = true;
+    }
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        SIMPROF_LOG(kWarn) << "ckpt: cannot open " << tmp
+                           << " for writing, skipping checkpoint";
+        return;
+      }
+      std::ostringstream payload_stream;
+      payload_stream.write(
+          window_state_.data(),
+          static_cast<std::streamsize>(window_state_.size()));
+      {
+        BinaryWriter w(payload_stream);
+        write_tape(w, tape_);
+      }
+      write_archive(out, payload_stream.str());
+      out.flush();
+      if (!out) {
+        SIMPROF_LOG(kWarn) << "ckpt: short write to " << tmp
+                           << ", skipping checkpoint";
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        return;
+      }
+    }
+    if (const int fd = ::open(tmp.c_str(), O_WRONLY); fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+    std::filesystem::rename(tmp, path);
+    if (const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+        dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+    ++saved_;
+    saves.increment();
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec) save_bytes.add(size);
+    SIMPROF_LOG(kDebug) << "ckpt: saved unit " << window_unit_ << " ("
+                        << tape_.size() << " tape ops) -> " << path;
+  } catch (const std::filesystem::filesystem_error& e) {
+    SIMPROF_LOG(kWarn) << "ckpt: save failed for unit " << window_unit_
+                       << " (" << e.what()
+                       << "), continuing without checkpoint";
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+  }
+}
+
+UnitRecordCollector::UnitRecordCollector(
+    std::vector<std::uint64_t> target_units)
+    : targets_(std::move(target_units)) {
+  std::sort(targets_.begin(), targets_.end());
+  targets_.erase(std::unique(targets_.begin(), targets_.end()),
+                 targets_.end());
+}
+
+bool UnitRecordCollector::is_target(std::uint64_t u) const {
+  return std::binary_search(targets_.begin(), targets_.end(), u);
+}
+
+void UnitRecordCollector::on_snapshot(std::span<const jvm::MethodId> stack) {
+  // Snapshots only matter for units we will keep; warming units burn the
+  // cache hierarchy in, not the histogram.
+  if (!is_target(current_unit_)) return;
+  for (const jvm::MethodId m : stack) ++current_histogram_[m];
+}
+
+void UnitRecordCollector::on_unit_boundary(const hw::PmuCounters& delta) {
+  if (is_target(current_unit_)) {
+    UnitRecord u;
+    u.unit_id = current_unit_;
+    u.counters = delta;
+    // Deterministic order: sorted by method id (mirrors SamplingManager).
+    std::vector<std::pair<jvm::MethodId, std::uint32_t>> entries(
+        current_histogram_.begin(), current_histogram_.end());
+    std::sort(entries.begin(), entries.end());
+    u.methods.reserve(entries.size());
+    u.counts.reserve(entries.size());
+    for (const auto& [m, c] : entries) {
+      u.methods.push_back(m);
+      u.counts.push_back(c);
+    }
+    records_.push_back(std::move(u));
+  }
+  current_histogram_.clear();
+  ++current_unit_;
+}
+
+std::vector<UnitRecord> UnitRecordCollector::take_records() {
+  std::vector<UnitRecord> out = std::move(records_);
+  records_ = {};
+  std::sort(out.begin(), out.end(),
+            [](const UnitRecord& a, const UnitRecord& b) {
+              return a.unit_id < b.unit_id;
+            });
+  return out;
+}
+
+CheckpointReplayer::CheckpointReplayer(std::string dir, std::string cache_key,
+                                       std::vector<std::uint64_t> target_units)
+    : UnitRecordCollector(std::move(target_units)), dir_(std::move(dir)),
+      cache_key_(std::move(cache_key)) {
+  // Discover the available archives. A scan failure (missing dir) just
+  // means no checkpoints: the caller measures cold.
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    constexpr std::string_view prefix = "ckpt-u";
+    constexpr std::string_view suffix = ".sckp";
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    available_.push_back(std::stoull(digits));
+  }
+  std::sort(available_.begin(), available_.end());
+}
+
+void CheckpointReplayer::replay(const exec::ClusterConfig& cc) {
+  static obs::Counter& restore_ctr = obs::metrics().counter("ckpt.restore");
+  static obs::Counter& restore_bytes =
+      obs::metrics().counter("ckpt.restore_bytes");
+
+  exec::Cluster cluster(cc);
+  cluster.set_profiling_hook(this);
+  exec::ExecutorContext& ctx = cluster.context(cc.profiled_core);
+
+  bool loaded = false;
+  std::uint64_t loaded_unit = 0;
+  CheckpointTape tape;
+  std::size_t op_idx = 0;
+
+  for (const std::uint64_t t : targets_) {
+    auto it = std::upper_bound(available_.begin(), available_.end(), t);
+    if (it == available_.begin()) {
+      throw CheckpointError("no checkpoint archive at or before unit " +
+                            std::to_string(t));
+    }
+    const std::uint64_t start = *std::prev(it);
+
+    if (!loaded || loaded_unit != start) {
+      obs::ObsSpan span("ckpt.restore", {{"unit", start}});
+      const std::string path =
+          (std::filesystem::path(dir_) / checkpoint_file_name(start))
+              .string();
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        throw CheckpointError("checkpoint archive vanished: " + path);
+      }
+      const std::uint64_t before_ip = ctx.counters().instructions;
+      const std::uint64_t bytes =
+          load_checkpoint(in, cluster, cache_key_, start, &tape);
+      const std::uint64_t after_ip = start * cc.unit_instrs;
+      if (after_ip > before_ip) ff_instrs_ += after_ip - before_ip;
+      ++restores_;
+      restored_bytes_ += bytes;
+      restore_ctr.increment();
+      restore_bytes.add(bytes);
+      loaded = true;
+      loaded_unit = start;
+      op_idx = 0;
+      current_unit_ = start;
+      SIMPROF_LOG(kDebug) << "ckpt: restored unit " << start << " <- " << path
+                          << " (" << bytes << " payload bytes, "
+                          << tape.size() << " tape ops)";
+    }
+
+    // Re-execute the window's op tape until the boundary closing unit `t`
+    // fires. Chunks never span boundaries (execute() clips them), so op
+    // granularity is exact, and stopping mid-window leaves valid state for
+    // a later target in the same window.
+    while (current_unit_ <= t && op_idx < tape.size()) {
+      const TapeOp& op = tape[op_idx++];
+      ctx.stack().restore_frames(op.frames);
+      cluster.memory().llc().set_effective_ways(op.llc_ways);
+      ReplayStream rs(op.refs);
+      ctx.execute(op.instrs, &rs);
+    }
+
+    if (current_unit_ <= t) {
+      // Tape exhausted before unit `t` completed: either the run's trailing
+      // partial unit (measurable iff at least one snapshot interval long,
+      // mirroring Cluster::finish()), a target past the end of the run
+      // (skipped, like the oracle pass would), or — if archives exist past
+      // this window — a tape that should have reached the next stride
+      // boundary but did not, i.e. archive damage.
+      const std::uint64_t ip = ctx.counters().instructions;
+      if (ip / cc.unit_instrs == t &&
+          ip % cc.unit_instrs >= cc.snapshot_interval) {
+        on_unit_boundary(
+            ctx.counters().delta_since(ctx.capture_state().unit_start_counters));
+      } else if (available_.back() > loaded_unit) {
+        throw CheckpointError("op tape in archive for unit " +
+                              std::to_string(loaded_unit) +
+                              " ends before unit " + std::to_string(t));
+      }
+    }
+  }
+}
+
+ColdMeasurer::ColdMeasurer(std::vector<std::uint64_t> target_units)
+    : UnitRecordCollector(std::move(target_units)) {}
+
+exec::ExecMode ColdMeasurer::on_unit_start(std::uint64_t unit_index,
+                                           exec::ExecutorContext&) {
+  current_unit_ = unit_index;
+  // Everything up to the last target runs detailed so each target unit sees
+  // exactly the cache state the oracle pass saw; past it, only functional
+  // execution remains.
+  return targets_.empty() || unit_index > targets_.back()
+             ? exec::ExecMode::kFastForward
+             : exec::ExecMode::kDetailed;
+}
+
+}  // namespace simprof::core

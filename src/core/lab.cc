@@ -12,6 +12,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "core/checkpoint.h"
 #include "obs/obs.h"
 #include "support/assert.h"
 #include "support/serialize.h"
@@ -20,7 +21,10 @@
 namespace simprof::core {
 
 namespace {
-constexpr std::uint32_t kCacheSchema = 4;  // bump to invalidate cached runs
+// Schema 5: access streams switched to counter-based per-stream seeds
+// (hw/access_stream.cc), which changes the simulated traffic of cached
+// profiles recorded under schema 4.
+constexpr std::uint32_t kCacheSchema = 5;  // bump to invalidate cached runs
 
 /// Process-wide per-cache-key locks: two concurrent runs of the same
 /// configuration — from one batch, two labs, or two threads — serialize
@@ -55,6 +59,14 @@ WorkloadLab::WorkloadLab(LabConfig cfg) : cfg_(cfg) {
   } else {
     cache_dir_ = ".simprof_cache";
   }
+  if (!cfg_.checkpoint_dir.empty()) {
+    checkpoint_root_ = cfg_.checkpoint_dir;
+  } else if (const char* env = std::getenv("SIMPROF_CHECKPOINT_DIR")) {
+    checkpoint_root_ = env;
+  } else {
+    checkpoint_root_ =
+        (std::filesystem::path(cache_dir_) / "ckpt").string();
+  }
 }
 
 exec::ClusterConfig WorkloadLab::cluster_config() const {
@@ -66,15 +78,31 @@ exec::ClusterConfig WorkloadLab::cluster_config() const {
   return cc;
 }
 
-std::string WorkloadLab::cache_path(const std::string& workload_name,
-                                    const std::string& graph_input,
-                                    std::uint64_t seed) const {
+std::string WorkloadLab::cache_key(const std::string& workload_name,
+                                   const std::string& graph_input,
+                                   std::uint64_t seed) const {
   std::ostringstream key;
   key << workload_name << '-' << graph_input << "-s" << cfg_.scale << "-seed"
       << seed << "-c" << cfg_.num_cores << "-g"
       << cfg_.graph_scale_override << "-u" << cfg_.unit_instrs << "-v"
-      << kCacheSchema << ".sprf";
-  return (std::filesystem::path(cache_dir_) / key.str()).string();
+      << kCacheSchema;
+  return key.str();
+}
+
+std::string WorkloadLab::cache_path(const std::string& workload_name,
+                                    const std::string& graph_input,
+                                    std::uint64_t seed) const {
+  return (std::filesystem::path(cache_dir_) /
+          (cache_key(workload_name, graph_input, seed) + ".sprf"))
+      .string();
+}
+
+std::string WorkloadLab::checkpoint_dir_for(const std::string& workload_name,
+                                            const std::string& graph_input,
+                                            std::uint64_t seed) const {
+  return (std::filesystem::path(checkpoint_root_) /
+          cache_key(workload_name, graph_input, seed))
+      .string();
 }
 
 std::optional<LabRun> WorkloadLab::try_load_cached(
@@ -153,6 +181,19 @@ LabRun WorkloadLab::run_config(const std::string& workload_name,
   SamplingManager manager(cluster.methods());
   cluster.set_profiling_hook(&manager);
 
+  // The oracle pass doubles as the checkpoint producer: every stride-th
+  // unit boundary opens a window that snapshots the warm simulation state
+  // and records the profiled core's op tape, so measure_units can later
+  // measure any unit in O(selected units) instead of O(run length).
+  std::optional<CheckpointRecorder> recorder;
+  if (cfg_.use_cache && cfg_.checkpoint_stride > 0) {
+    recorder.emplace(checkpoint_dir_for(workload_name, graph_input, seed),
+                     cache_key(workload_name, graph_input, seed),
+                     cfg_.checkpoint_stride);
+    cluster.set_unit_governor(&*recorder);
+    cluster.set_tape_sink(&*recorder);
+  }
+
   workloads::WorkloadParams params;
   params.scale = cfg_.scale;
   params.seed = seed;
@@ -164,6 +205,7 @@ LabRun WorkloadLab::run_config(const std::string& workload_name,
     obs::ObsSpan run_span("lab.workload_run", {{"workload", workload_name},
                                                {"input", graph_input}});
     r.result = info.run(cluster, params);
+    if (recorder) recorder->finalize();  // publish the trailing window
     r.profile = manager.take_profile();
   }
   SIMPROF_ENSURES(r.profile.num_units() > 0,
@@ -202,6 +244,75 @@ LabRun WorkloadLab::run_config(const std::string& workload_name,
                         << " units -> " << path;
   }
   return r;
+}
+
+MeasureResult WorkloadLab::measure_units(
+    const std::string& workload_name, const std::string& graph_input,
+    const std::vector<std::uint64_t>& units) {
+  static obs::Counter& ff_insts =
+      obs::metrics().counter("lab.fast_forward_skipped_insts");
+  static obs::Counter& fallbacks = obs::metrics().counter("ckpt.fallback");
+  const std::uint64_t seed = cfg_.seed;
+  const std::string key = cache_key(workload_name, graph_input, seed);
+  const workloads::WorkloadInfo& info = workloads::workload(workload_name);
+
+  workloads::WorkloadParams params;
+  params.scale = cfg_.scale;
+  params.seed = seed;
+  params.graph_input = graph_input;
+  params.graph_scale_override = cfg_.graph_scale_override;
+
+  obs::ObsSpan span("lab.measure_units", {{"workload", workload_name},
+                                          {"input", graph_input},
+                                          {"units", units.size()}});
+  exec::ClusterConfig cc = cluster_config();
+  cc.seed = seed;
+
+  // Fast path: the oracle pass left archives (state + op tape per window);
+  // replay them through the target units on a fresh cluster. The workload
+  // itself never runs, so the cost is O(selected units).
+  bool fell_back = false;
+  {
+    CheckpointReplayer replayer(
+        checkpoint_dir_for(workload_name, graph_input, seed), key, units);
+    if (replayer.has_archives()) {
+      try {
+        replayer.replay(cc);
+        MeasureResult m;
+        m.records = replayer.take_records();
+        m.checkpoints_restored = replayer.restores();
+        m.used_checkpoints = replayer.restores() > 0;
+        m.fast_forwarded_instrs = replayer.fast_forwarded_instrs();
+        ff_insts.add(m.fast_forwarded_instrs);
+        return m;
+      } catch (const SerializeError& e) {
+        // A bad archive must never produce a wrong number: abandon the
+        // polluted cluster entirely and re-measure cold, which is slower
+        // but exact.
+        fallbacks.increment();
+        fell_back = true;
+        SIMPROF_LOG(kWarn) << "lab: checkpoint replay failed for "
+                           << workload_name << "/" << graph_input << " ("
+                           << e.what() << "), falling back to re-execution";
+      }
+    }
+  }
+
+  // Cold path (no archives, or fallback from a corrupt one): run the
+  // workload with units [0, max target] detailed so each target unit sees
+  // exactly the oracle pass's cache state.
+  exec::Cluster cluster(cc);
+  ColdMeasurer cold(units);
+  cluster.set_profiling_hook(&cold);
+  cluster.set_unit_governor(&cold);
+  MeasureResult m;
+  m.result = info.run(cluster, params);
+  m.records = cold.take_records();
+  m.fallback = fell_back;
+  m.fast_forwarded_instrs =
+      cluster.context(cc.profiled_core).ff_skipped_instrs();
+  ff_insts.add(m.fast_forwarded_instrs);
+  return m;
 }
 
 std::vector<LabRun> WorkloadLab::run_batch(const std::vector<BatchItem>& items) {

@@ -32,6 +32,15 @@ struct LabConfig {
   /// Cache directory; empty → $SIMPROF_CACHE_DIR or ".simprof_cache".
   std::string cache_dir;
   bool use_cache = true;
+  /// Checkpoint archive root; empty → $SIMPROF_CHECKPOINT_DIR or
+  /// "<cache_dir>/ckpt". Each run gets a subdirectory named after its cache
+  /// key.
+  std::string checkpoint_dir;
+  /// Open a checkpoint window every N unit boundaries during oracle passes
+  /// (0 disables recording). Each window archives the warm state plus the
+  /// op tape of its N units, so the stride bounds both disk usage and the
+  /// worst-case tape replay measure_units pays per selected unit.
+  std::uint64_t checkpoint_stride = 2;
   /// Worker threads for run_batch (0 = global default from
   /// hardware_concurrency, overridable via the CLI --threads flag).
   std::size_t threads = 0;
@@ -52,6 +61,21 @@ struct BatchItem {
   std::optional<std::uint64_t> seed;
 };
 
+/// Result of measuring a selected subset of sampling units (measure_units).
+struct MeasureResult {
+  /// One record per requested unit that exists in the run, ascending by
+  /// unit id — bit-identical to the oracle pass's records for those units.
+  std::vector<UnitRecord> records;
+  bool used_checkpoints = false;   ///< at least one archive was restored
+  bool fallback = false;           ///< a bad archive forced re-execution
+  std::size_t checkpoints_restored = 0;
+  std::uint64_t fast_forwarded_instrs = 0;
+  /// Zeroed on the checkpointed fast path — the measurement replays the
+  /// archived op tape, so the workload's functional result is never
+  /// recomputed. Populated only when measuring cold (no archives/fallback).
+  workloads::WorkloadResult result;
+};
+
 class WorkloadLab {
  public:
   explicit WorkloadLab(LabConfig cfg = {});
@@ -69,6 +93,25 @@ class WorkloadLab {
   /// bit-identical to calling run() serially per item.
   std::vector<LabRun> run_batch(const std::vector<BatchItem>& items);
 
+  /// Measure only the given sampling units of a configuration. When a prior
+  /// oracle pass left checkpoint archives (see core/checkpoint.h), each
+  /// target is measured by restoring the nearest archive at or before it
+  /// and re-executing the archived op tape through the unit — the workload
+  /// never runs, so the wall-clock cost is O(selected units) rather than
+  /// O(run length). Results are bit-identical to the oracle pass's records
+  /// for those units. A corrupt or stale archive is never trusted:
+  /// measurement falls back to exact cold re-execution from unit 0
+  /// (MeasureResult::fallback) and still returns correct numbers.
+  MeasureResult measure_units(const std::string& workload_name,
+                              const std::string& graph_input,
+                              const std::vector<std::uint64_t>& units);
+
+  /// This run's private checkpoint directory (where the recorder publishes
+  /// and the replayer scans).
+  std::string checkpoint_dir_for(const std::string& workload_name,
+                                 const std::string& graph_input,
+                                 std::uint64_t seed) const;
+
   /// Build a cluster matching this lab's configuration (for callers that
   /// need custom profiling setups, e.g. the trace benches).
   exec::ClusterConfig cluster_config() const;
@@ -79,6 +122,9 @@ class WorkloadLab {
   std::string cache_path(const std::string& workload_name,
                          const std::string& graph_input,
                          std::uint64_t seed) const;
+  std::string cache_key(const std::string& workload_name,
+                        const std::string& graph_input,
+                        std::uint64_t seed) const;
   /// try-load → single-flight lock → re-check → oracle pass → publish.
   LabRun run_config(const std::string& workload_name,
                     const std::string& graph_input, std::uint64_t seed);
@@ -88,6 +134,7 @@ class WorkloadLab {
 
   LabConfig cfg_;
   std::string cache_dir_;
+  std::string checkpoint_root_;
 };
 
 }  // namespace simprof::core

@@ -19,6 +19,7 @@ std::string_view to_string(SamplingTechnique t) {
     case SamplingTechnique::kCode: return "CODE";
     case SamplingTechnique::kSystematic: return "SYSTEMATIC";
     case SamplingTechnique::kSimProfSystematic: return "SimProf+SYS";
+    case SamplingTechnique::kSmarts: return "SMARTS";
   }
   return "unknown";
 }
@@ -229,6 +230,16 @@ SamplePlan systematic_sample(const ThreadProfile& profile, std::size_t n,
   plan.standard_error = s / std::sqrt(static_cast<double>(picks.size())) *
                         std::sqrt(std::max(fpc, 0.0));
   plan.ci = stats::confidence_interval(est, plan.standard_error, z);
+  return plan;
+}
+
+SamplePlan smarts_sample(const ThreadProfile& profile, std::size_t n,
+                         std::uint64_t seed, double z) {
+  // Same systematic selection and estimator as systematic_sample; the
+  // technique tag tells downstream consumers (benches, the CLI) to measure
+  // the selected units through the checkpoint fast path.
+  SamplePlan plan = systematic_sample(profile, n, seed, z);
+  plan.technique = SamplingTechnique::kSmarts;
   return plan;
 }
 

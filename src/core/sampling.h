@@ -33,6 +33,7 @@ enum class SamplingTechnique {
   kCode,
   kSystematic,
   kSimProfSystematic,
+  kSmarts,
 };
 
 std::string_view to_string(SamplingTechnique t);
@@ -86,6 +87,16 @@ SamplePlan simprof_systematic_sample(const ThreadProfile& profile,
                                      const PhaseModel& model, std::size_t n,
                                      std::uint64_t seed,
                                      double z = stats::kZ997);
+
+/// SMARTS baseline (Wunderlich et al., ISCA'03): systematic unit selection
+/// — every k-th unit from a random offset — whose selected units are meant
+/// to be *measured through checkpoint restore + functional fast-forward*
+/// rather than by re-simulating the whole run (WorkloadLab::measure_units
+/// composes that half; this function only plans the selection and its
+/// estimator). Selection math matches systematic_sample; the techniques
+/// differ in measurement cost, not statistics.
+SamplePlan smarts_sample(const ThreadProfile& profile, std::size_t n,
+                         std::uint64_t seed, double z = stats::kZ997);
 
 /// Smallest stratified sample size achieving z·SE ≤ rel_margin·μ (Figure 8).
 std::size_t required_sample_size(const PhaseModel& model, double rel_margin,

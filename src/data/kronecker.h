@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "data/graph.h"
 #include "support/rng.h"
@@ -28,5 +29,13 @@ struct KroneckerConfig {
 /// edge_factor·V for skewed initiators — the same behaviour as SNAP's
 /// krongen.
 Graph kronecker_graph(const KroneckerConfig& cfg, bool symmetrize);
+
+/// Memoized generation (same contract as TextCorpus::synthesize_shared):
+/// graphs are pure functions of (config, symmetrize) and immutable, so
+/// repeated runs of one configuration — the checkpointed measure fast path,
+/// batch mixes over one input — share a single instance. Single-flighted;
+/// cached for the process lifetime.
+std::shared_ptr<const Graph> kronecker_graph_shared(const KroneckerConfig& cfg,
+                                                    bool symmetrize);
 
 }  // namespace simprof::data

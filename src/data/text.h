@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,15 @@ class TextCorpus {
  public:
   /// Synthesize per config (deterministic in config.seed).
   static TextCorpus synthesize(const TextConfig& cfg);
+
+  /// Memoized synthesis: a corpus is a pure function of its config and
+  /// immutable once built, so repeated runs of the same configuration (the
+  /// checkpointed measure fast path, run_batch mixes sharing an input)
+  /// share one instance instead of re-synthesizing — at full scale the
+  /// synthesis is seconds of work per run. Concurrent first requests for
+  /// one config are single-flighted; the cache lives for the process.
+  static std::shared_ptr<const TextCorpus> synthesize_shared(
+      const TextConfig& cfg);
 
   std::span<const WordId> words() const { return words_; }
   /// doc_offsets()[i]..doc_offsets()[i+1] delimit document i in words().

@@ -28,6 +28,11 @@ ExecutorContext& Cluster::context(std::uint32_t core) {
   return *contexts_[core];
 }
 
+const ExecutorContext& Cluster::context(std::uint32_t core) const {
+  SIMPROF_EXPECTS(core < contexts_.size(), "core out of range");
+  return *contexts_[core];
+}
+
 void Cluster::run_stage(std::string_view stage_name, std::vector<Task> tasks,
                         bool thread_per_task) {
   static obs::Counter& stages = obs::metrics().counter("exec.stages");
@@ -35,6 +40,7 @@ void Cluster::run_stage(std::string_view stage_name, std::vector<Task> tasks,
   static obs::Counter& waves = obs::metrics().counter("exec.waves");
   stages.increment();
   task_count.add(tasks.size());
+  ++stages_run_;
   const std::string name(stage_name);
   obs::ObsSpan stage_span("exec.stage",
                           {{"stage", stage_name}, {"tasks", tasks.size()}});
@@ -87,6 +93,9 @@ void Cluster::finish() {
   // vectorize and are dropped, mirroring the paper's fixed-size units.
   ExecutorContext& ctx = *contexts_[cfg_.profiled_core];
   if (hook_ == nullptr) return;
+  // A fast-forwarded tail carries no simulated counters — dropping it
+  // mirrors the replayer never selecting the trailing partial unit.
+  if (ctx.fast_forwarding()) return;
   const std::uint64_t into_unit =
       ctx.counters().instructions % cfg_.unit_instrs;
   if (into_unit >= cfg_.snapshot_interval) {

@@ -48,14 +48,29 @@ class Cluster {
   jvm::MethodRegistry& methods() { return methods_; }
   const jvm::MethodRegistry& methods() const { return methods_; }
   hw::MemorySystem& memory() { return memory_; }
+  const hw::MemorySystem& memory() const { return memory_; }
   hw::AddressSpace& address_space() { return address_space_; }
 
   ExecutorContext& context(std::uint32_t core);
+  const ExecutorContext& context(std::uint32_t core) const;
 
   /// Install the profiling subscriber (SimProf's thread profiler). May be
   /// null to run unprofiled.
   void set_profiling_hook(ProfilingHook* hook) { hook_ = hook; }
   ProfilingHook* profiling_hook() const { return hook_; }
+
+  /// Install the per-unit execution-mode policy (checkpoint record/replay;
+  /// see core/checkpoint.h). May be null: every unit runs detailed.
+  void set_unit_governor(UnitGovernor* g) { governor_ = g; }
+  UnitGovernor* unit_governor() const { return governor_; }
+
+  /// Install the profiled core's detailed-execution trace subscriber
+  /// (checkpoint op-tape recording; see core/checkpoint.h). May be null.
+  void set_tape_sink(OpTapeSink* s) { tape_sink_ = s; }
+  OpTapeSink* tape_sink() const { return tape_sink_; }
+
+  /// Stages executed so far (schedule-position bookkeeping).
+  std::uint64_t stages_run() const { return stages_run_; }
 
   /// Execute one stage: tasks are dealt round-robin to cores and run in
   /// waves. `thread_per_task` selects Hadoop semantics (each task runs on a
@@ -74,6 +89,9 @@ class Cluster {
   hw::AddressSpace address_space_;
   std::vector<std::unique_ptr<ExecutorContext>> contexts_;
   ProfilingHook* hook_ = nullptr;
+  UnitGovernor* governor_ = nullptr;
+  OpTapeSink* tape_sink_ = nullptr;
+  std::uint64_t stages_run_ = 0;
   Rng scheduler_rng_;
 };
 

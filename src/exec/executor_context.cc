@@ -31,17 +31,45 @@ std::uint64_t ExecutorContext::pipeline_slice_instrs() const {
   return std::max<std::uint64_t>(cluster_.config().snapshot_interval / 4, 1);
 }
 
+void ExecutorContext::prime_governor_if_needed() {
+  // The first profiled instruction of a run is a unit start too: consult the
+  // governor once so a replayer can fast-forward from instruction zero (or a
+  // recorder can treat unit 0 as already recorded by construction).
+  if (governor_primed_) return;
+  governor_primed_ = true;
+  if (UnitGovernor* g = cluster_.unit_governor(); g != nullptr) {
+    mode_ = g->on_unit_start(
+        counters_.instructions / cluster_.config().unit_instrs, *this);
+  }
+}
+
 void ExecutorContext::execute(std::uint64_t instrs, hw::AccessStream* stream) {
+  if (is_profiled()) prime_governor_if_needed();
+
   if (instrs == 0) {
     // Still drain the stream so kernels can emit pure-traffic work.
     if (stream != nullptr && is_profiled()) {
+      if (mode_ == ExecMode::kFastForward) {
+        // Advance the cursor without simulation; positions stay identical
+        // to a detailed drain so later detailed units see the same stream.
+        stream->skip(stream->remaining());
+        return;
+      }
+      OpTapeSink* sink = cluster_.tape_sink();
+      if (sink != nullptr) tape_refs_.clear();
       hw::MemRef ref;
       double cycles = 0.0;
       while (stream->next(ref)) {
         cycles += cluster_.memory().access(core_, ref);
         ++counters_.line_touches;
+        if (sink != nullptr) tape_refs_.push_back(ref);
       }
       charge_cycles(cycles);
+      if (sink != nullptr && !tape_refs_.empty()) {
+        sink->on_chunk(0, tape_refs_,
+                       cluster_.memory().llc().effective_ways(),
+                       stack_.frames());
+      }
     }
     return;
   }
@@ -59,6 +87,7 @@ void ExecutorContext::execute(std::uint64_t instrs, hw::AccessStream* stream) {
   std::uint64_t done = 0;
   std::uint64_t refs_done = 0;
   hw::MemRef ref;
+  OpTapeSink* const sink = cluster_.tape_sink();
 
   while (done < instrs) {
     // Advance to the nearest profiling boundary.
@@ -69,17 +98,35 @@ void ExecutorContext::execute(std::uint64_t instrs, hw::AccessStream* stream) {
     step = std::min(step, next_snapshot_at_ - ip);
     step = std::min(step, next_unit_at_ - ip);
 
-    // References apportioned evenly across the chunk's instructions.
-    double cycles = static_cast<double>(step) * cost.base_cpi;
-    if (total_refs > 0) {
-      const std::uint64_t target =
-          static_cast<std::uint64_t>(static_cast<__uint128_t>(total_refs) *
-                                     (done + step) / instrs);
-      while (refs_done < target && stream->next(ref)) {
-        cycles += cluster_.memory().access(core_, ref);
-        ++refs_done;
-        ++counters_.line_touches;
+    // References apportioned evenly across the chunk's instructions. In
+    // fast-forward the same target is computed but the references are
+    // skipped in O(1) — stream cursors and instruction counts advance
+    // exactly as in detailed mode, only the cache simulation is elided.
+    const std::uint64_t target =
+        total_refs == 0
+            ? 0
+            : static_cast<std::uint64_t>(static_cast<__uint128_t>(total_refs) *
+                                         (done + step) / instrs);
+    if (mode_ == ExecMode::kFastForward) {
+      if (target > refs_done) {
+        stream->skip(target - refs_done);
+        refs_done = target;
       }
+      counters_.instructions += step;
+      done += step;
+      ff_skipped_instrs_ += step;
+      charge_cycles(static_cast<double>(step) * cost.base_cpi);
+      maybe_fire_boundaries();
+      continue;
+    }
+
+    double cycles = static_cast<double>(step) * cost.base_cpi;
+    if (sink != nullptr) tape_refs_.clear();
+    while (refs_done < target && stream->next(ref)) {
+      cycles += cluster_.memory().access(core_, ref);
+      ++refs_done;
+      ++counters_.line_touches;
+      if (sink != nullptr) tape_refs_.push_back(ref);
     }
     // Miss counters are read off the cache models lazily at boundaries; the
     // per-level miss deltas are maintained here for unit records.
@@ -90,6 +137,13 @@ void ExecutorContext::execute(std::uint64_t instrs, hw::AccessStream* stream) {
     counters_.instructions += step;
     done += step;
     charge_cycles(cycles);
+    // The chunk belongs to the window that was open while it executed, so it
+    // is emitted before the boundary hooks can rotate the recorder's window.
+    if (sink != nullptr) {
+      sink->on_chunk(step, tape_refs_,
+                     cluster_.memory().llc().effective_ways(),
+                     stack_.frames());
+    }
     maybe_fire_boundaries();
   }
 }
@@ -98,20 +152,28 @@ void ExecutorContext::maybe_fire_boundaries() {
   const auto& cfg = cluster_.config();
   const std::uint64_t ip = counters_.instructions;
   ProfilingHook* hook = cluster_.profiling_hook();
+  // Hooks describe the unit that just *completed*, so they are gated on the
+  // mode that unit ran under — the governor may flip the mode below, which
+  // only affects the unit that is starting.
+  const bool detailed = mode_ == ExecMode::kDetailed;
 
   if (ip >= next_snapshot_at_) {
-    if (hook != nullptr) hook->on_snapshot(stack_.frames());
+    if (detailed && hook != nullptr) hook->on_snapshot(stack_.frames());
     next_snapshot_at_ += cfg.snapshot_interval;
   }
   if (ip >= next_unit_at_) {
-    if (hook != nullptr) {
+    if (detailed && hook != nullptr) {
       hook->on_unit_boundary(counters_.delta_since(unit_start_counters_));
     }
     unit_start_counters_ = counters_;
     next_unit_at_ += cfg.unit_instrs;
     // OS scheduling noise: occasionally the executor thread is migrated to
-    // another core; its private caches go cold (Section III-B.1).
-    if (rng_.next_bool(cfg.migration_prob_per_unit)) {
+    // another core; its private caches go cold (Section III-B.1). The draw
+    // is consumed in every mode — the generator must evolve identically in
+    // fast-forward and detailed execution — but the cold-cache mechanics
+    // only apply when the unit is simulated.
+    const bool migrated = rng_.next_bool(cfg.migration_prob_per_unit);
+    if (detailed && migrated) {
       cluster_.memory().migrate(core_);
       ++counters_.migrations;
       static obs::Counter& migrations =
@@ -120,7 +182,39 @@ void ExecutorContext::maybe_fire_boundaries() {
       obs::trace_virtual_instant("migration", counters_.cycles, core_,
                                  {{"instructions", ip}});
     }
+    // Unit boundary mechanics are done; let the governor pick the mode for
+    // the unit now starting. A checkpoint recorder snapshots *here* (after
+    // the migration draw) and a replayer restores at the same sequence
+    // point, so saved and restored generator states line up exactly.
+    if (UnitGovernor* g = cluster_.unit_governor(); g != nullptr) {
+      mode_ = g->on_unit_start(ip / cfg.unit_instrs, *this);
+    }
   }
+}
+
+ThreadState ExecutorContext::capture_state() const {
+  ThreadState st;
+  st.counters = counters_;
+  st.cycles_acc = cycles_acc_;
+  st.thread_id = thread_id_;
+  st.rng = rng_.state();
+  const auto frames = stack_.frames();
+  st.frames.assign(frames.begin(), frames.end());
+  st.next_snapshot_at = next_snapshot_at_;
+  st.next_unit_at = next_unit_at_;
+  st.unit_start_counters = unit_start_counters_;
+  return st;
+}
+
+void ExecutorContext::restore_state(const ThreadState& st) {
+  counters_ = st.counters;
+  cycles_acc_ = st.cycles_acc;
+  thread_id_ = st.thread_id;
+  rng_.set_state(st.rng);
+  stack_.restore_frames(st.frames);
+  next_snapshot_at_ = st.next_snapshot_at;
+  next_unit_at_ = st.next_unit_at;
+  unit_start_counters_ = st.unit_start_counters;
 }
 
 }  // namespace simprof::exec

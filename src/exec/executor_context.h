@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "hw/access_stream.h"
 #include "hw/memory_system.h"
@@ -35,6 +37,56 @@ class ProfilingHook {
   virtual void on_snapshot(std::span<const jvm::MethodId> stack) = 0;
   /// Called at each sampling-unit boundary with the unit's counter deltas.
   virtual void on_unit_boundary(const hw::PmuCounters& delta) = 0;
+};
+
+/// Subscriber for the profiled core's detailed execution trace. execute()
+/// fires it once per boundary-clipped chunk — immediately before the chunk's
+/// profiling boundaries — with the chunk's instruction count, exactly the
+/// memory references it consumed, the shared LLC's effective associativity
+/// (wave pressure) and the live shadow stack. A checkpoint recorder
+/// (core/checkpoint.h) serializes this op tape next to the state snapshot so
+/// a later measurement can re-execute the chunk sequence verbatim without
+/// running the workload at all.
+class OpTapeSink {
+ public:
+  virtual ~OpTapeSink() = default;
+  virtual void on_chunk(std::uint64_t instrs,
+                        std::span<const hw::MemRef> refs,
+                        std::uint32_t llc_ways,
+                        std::span<const jvm::MethodId> frames) = 0;
+};
+
+/// How the profiled thread executes the upcoming sampling unit.
+enum class ExecMode {
+  kDetailed,      ///< full cache simulation + profiling hooks
+  kFastForward,   ///< functional only: advance cursors, skip simulation
+};
+
+class ExecutorContext;
+
+/// Per-unit mode policy, consulted by the profiled context at every
+/// sampling-unit start (including the very first instruction of a run).
+/// This is where checkpointing plugs in: a recorder snapshots state here
+/// and always answers kDetailed; a replayer restores the nearest archive
+/// at segment starts and fast-forwards everything outside the selected
+/// units (see core/checkpoint.h).
+class UnitGovernor {
+ public:
+  virtual ~UnitGovernor() = default;
+  virtual ExecMode on_unit_start(std::uint64_t unit_index,
+                                 ExecutorContext& ctx) = 0;
+};
+
+/// Complete serializable state of one executor thread (checkpointing).
+struct ThreadState {
+  hw::PmuCounters counters;
+  double cycles_acc = 0.0;
+  std::uint64_t thread_id = 0;
+  RngState rng;
+  std::vector<jvm::MethodId> frames;  ///< shadow stack, outermost first
+  std::uint64_t next_snapshot_at = 0;
+  std::uint64_t next_unit_at = 0;
+  hw::PmuCounters unit_start_counters;
 };
 
 class ExecutorContext final : public jvm::StackTraceSource {
@@ -63,6 +115,23 @@ class ExecutorContext final : public jvm::StackTraceSource {
 
   /// Deterministic per-core random stream (data-dependent access patterns).
   Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+
+  /// Owning cluster (engines use this to reach scheduler-level state).
+  Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
+
+  /// True while the current sampling unit executes functionally only
+  /// (checkpoint replay outside the selected units). Engines use this to
+  /// suppress trace spans whose cycle bounds would be stale.
+  bool fast_forwarding() const { return mode_ == ExecMode::kFastForward; }
+
+  /// Instructions retired without detailed simulation (obs/bench counter).
+  std::uint64_t ff_skipped_instrs() const { return ff_skipped_instrs_; }
+
+  /// Snapshot/overwrite the full thread state (checkpoint save/restore).
+  ThreadState capture_state() const;
+  void restore_state(const ThreadState& st);
 
   /// Cluster-wide simulated address space for data-structure regions.
   hw::AddressSpace& address_space();
@@ -92,6 +161,7 @@ class ExecutorContext final : public jvm::StackTraceSource {
     counters_.cycles = static_cast<std::uint64_t>(cycles_acc_);
   }
   void maybe_fire_boundaries();
+  void prime_governor_if_needed();
 
   Cluster& cluster_;
   std::uint32_t core_;
@@ -106,6 +176,12 @@ class ExecutorContext final : public jvm::StackTraceSource {
   std::uint64_t next_snapshot_at_ = 0;
   std::uint64_t next_unit_at_ = 0;
   hw::PmuCounters unit_start_counters_;
+
+  // Checkpoint replay bookkeeping (profiled core only).
+  ExecMode mode_ = ExecMode::kDetailed;
+  bool governor_primed_ = false;
+  std::uint64_t ff_skipped_instrs_ = 0;
+  std::vector<hw::MemRef> tape_refs_;  ///< scratch chunk buffer (OpTapeSink)
 };
 
 }  // namespace simprof::exec

@@ -1,5 +1,6 @@
 #include "hw/access_stream.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/assert.h"
@@ -12,6 +13,16 @@ LineAddr to_line(std::uint64_t byte_addr) { return byte_addr / kLineBytes; }
 std::uint64_t region_lines(std::uint64_t bytes) {
   return (bytes + kLineBytes - 1) / kLineBytes;
 }
+
+/// Map a 64-bit hash to a uniform double in [0, 1) the same way
+/// Rng::next_double does, so statistical shapes match the old stateful path.
+double to_unit_double(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Salt separating a stream's "which line" hash lane from its "is it a
+/// write" lane at the same position.
+constexpr std::uint64_t kWriteLaneSalt = 0x77726974656c616eULL;
 
 }  // namespace
 
@@ -26,13 +37,17 @@ bool SequentialStream::next(MemRef& out) {
   return true;
 }
 
+void SequentialStream::skip(std::uint64_t n) {
+  pos_ += std::min(n, lines_ - pos_);
+}
+
 RandomStream::RandomStream(std::uint64_t base_addr, std::uint64_t bytes,
                            std::uint64_t touches, Rng& rng, bool write,
                            double write_fraction)
     : first_(to_line(base_addr)),
       lines_(region_lines(bytes)),
       touches_(touches),
-      rng_(&rng),
+      seed_(rng.next_u64()),
       write_(write),
       write_fraction_(write_fraction) {
   SIMPROF_EXPECTS(lines_ > 0, "empty region");
@@ -40,11 +55,24 @@ RandomStream::RandomStream(std::uint64_t base_addr, std::uint64_t bytes,
 
 bool RandomStream::next(MemRef& out) {
   if (pos_ >= touches_) return false;
+  // idx = floor(hash / 2^64 · N) via the 128-bit multiply-shift trick:
+  // unbiased enough for traffic shaping and, unlike next_below's rejection
+  // loop, a pure function of position.
+  const std::uint64_t h = hash_at(seed_, pos_);
+  const auto idx = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(h) * lines_) >> 64);
+  const bool w =
+      write_fraction_ >= 0.0
+          ? to_unit_double(hash_at(seed_ ^ kWriteLaneSalt, pos_)) <
+                write_fraction_
+          : write_;
   ++pos_;
-  const bool w = write_fraction_ >= 0.0 ? rng_->next_bool(write_fraction_)
-                                        : write_;
-  out = MemRef{first_ + rng_->next_below(lines_), w, /*prefetchable=*/false};
+  out = MemRef{first_ + idx, w, /*prefetchable=*/false};
   return true;
+}
+
+void RandomStream::skip(std::uint64_t n) {
+  pos_ += std::min(n, touches_ - pos_);
 }
 
 ZipfStream::ZipfStream(std::uint64_t base_addr, std::uint64_t bytes,
@@ -54,7 +82,7 @@ ZipfStream::ZipfStream(std::uint64_t base_addr, std::uint64_t bytes,
       lines_(region_lines(bytes)),
       touches_(touches),
       skew_(skew),
-      rng_(&rng),
+      seed_(rng.next_u64()),
       write_(write) {
   SIMPROF_EXPECTS(lines_ > 0, "empty region");
   SIMPROF_EXPECTS(skew_ >= 0.0 && skew_ < 1.0,
@@ -63,16 +91,20 @@ ZipfStream::ZipfStream(std::uint64_t base_addr, std::uint64_t bytes,
 
 bool ZipfStream::next(MemRef& out) {
   if (pos_ >= touches_) return false;
-  ++pos_;
   // Approximate Zipf via inverse power transform of a uniform draw:
   // idx = floor(N · u^(1/(1-s))). Exact Zipf tables are too large for
   // multi-GB regions; this preserves the hot-head/long-tail shape.
-  const double u = rng_->next_double();
+  const double u = to_unit_double(hash_at(seed_, pos_));
+  ++pos_;
   const double x = std::pow(u, 1.0 / (1.0 - skew_));
   auto idx = static_cast<std::uint64_t>(x * static_cast<double>(lines_));
   if (idx >= lines_) idx = lines_ - 1;
   out = MemRef{first_ + idx, write_, /*prefetchable=*/false};
   return true;
+}
+
+void ZipfStream::skip(std::uint64_t n) {
+  pos_ += std::min(n, touches_ - pos_);
 }
 
 StridedStream::StridedStream(std::uint64_t base_addr, std::uint64_t bytes,
@@ -87,6 +119,10 @@ bool StridedStream::next(MemRef& out) {
   out = MemRef{first_ + pos_ * stride_, write_, /*prefetchable=*/true};
   ++pos_;
   return true;
+}
+
+void StridedStream::skip(std::uint64_t n) {
+  pos_ += std::min(n, refs_ - pos_);
 }
 
 std::uint64_t AddressSpace::allocate(std::uint64_t bytes) {

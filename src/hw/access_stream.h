@@ -25,12 +25,25 @@ struct MemRef {
 };
 
 /// Pull-based reference generator. `next` returns false when exhausted.
+///
+/// Streams are position-addressable: `skip(n)` discards the next n
+/// references in O(1) and leaves every later reference bit-identical to a
+/// draw-by-draw walk. Random/Zipf streams make this possible by deriving
+/// each reference from a counter-based hash of (stream seed, position)
+/// instead of mutating a shared generator — the constructor consumes exactly
+/// one draw from the parent Rng to capture the seed, so the parent's
+/// evolution is the same whether the stream is drained or skipped. The
+/// checkpoint fast-forward path in exec depends on this property.
 class AccessStream {
  public:
   virtual ~AccessStream() = default;
   virtual bool next(MemRef& out) = 0;
   /// Total references this stream will produce (for cycle apportioning).
   virtual std::uint64_t total_refs() const = 0;
+  /// Discard the next n references (capped at what remains) in O(1).
+  virtual void skip(std::uint64_t n) = 0;
+  /// References left before exhaustion.
+  virtual std::uint64_t remaining() const = 0;
 };
 
 /// Consecutive lines over [base_addr, base_addr + bytes).
@@ -40,6 +53,8 @@ class SequentialStream final : public AccessStream {
                    bool write = false);
   bool next(MemRef& out) override;
   std::uint64_t total_refs() const override { return lines_; }
+  void skip(std::uint64_t n) override;
+  std::uint64_t remaining() const override { return lines_ - pos_; }
 
  private:
   LineAddr first_;
@@ -56,13 +71,15 @@ class RandomStream final : public AccessStream {
                double write_fraction = -1.0);
   bool next(MemRef& out) override;
   std::uint64_t total_refs() const override { return touches_; }
+  void skip(std::uint64_t n) override;
+  std::uint64_t remaining() const override { return touches_ - pos_; }
 
  private:
   LineAddr first_;
   std::uint64_t lines_;
   std::uint64_t touches_;
   std::uint64_t pos_ = 0;
-  Rng* rng_;
+  std::uint64_t seed_;
   bool write_;
   double write_fraction_;
 };
@@ -76,6 +93,8 @@ class ZipfStream final : public AccessStream {
              bool write = false);
   bool next(MemRef& out) override;
   std::uint64_t total_refs() const override { return touches_; }
+  void skip(std::uint64_t n) override;
+  std::uint64_t remaining() const override { return touches_ - pos_; }
 
  private:
   LineAddr first_;
@@ -83,7 +102,7 @@ class ZipfStream final : public AccessStream {
   std::uint64_t touches_;
   std::uint64_t pos_ = 0;
   double skew_;
-  Rng* rng_;
+  std::uint64_t seed_;
   bool write_;
 };
 
@@ -95,6 +114,8 @@ class StridedStream final : public AccessStream {
                 std::uint64_t stride_lines, bool write = false);
   bool next(MemRef& out) override;
   std::uint64_t total_refs() const override { return refs_; }
+  void skip(std::uint64_t n) override;
+  std::uint64_t remaining() const override { return refs_ - pos_; }
 
  private:
   LineAddr first_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/serialize.h"
+
 namespace simprof::hw {
 
 Cache::Cache(const CacheConfig& cfg)
@@ -35,5 +37,38 @@ bool Cache::access(LineAddr line) {
 }
 
 void Cache::flush() { std::fill(ways_.begin(), ways_.end(), kInvalid); }
+
+void Cache::save_state(BinaryWriter& w) const {
+  w.u64(cfg_.size_bytes);
+  w.u32(cfg_.ways);
+  w.u32(effective_ways_);
+  // Stats ride along: PMU counters read miss totals lazily from here, so a
+  // restore must bring the counters' source of truth back too.
+  w.u64(stats_.hits);
+  w.u64(stats_.misses);
+  w.vec_u64(ways_);
+}
+
+void Cache::load_state(BinaryReader& r) {
+  const std::uint64_t size_bytes = r.u64();
+  const std::uint32_t ways = r.u32();
+  if (size_bytes != cfg_.size_bytes || ways != cfg_.ways) {
+    throw SerializeError("corrupt archive: cache geometry mismatch");
+  }
+  const std::uint32_t eff = r.u32();
+  if (eff < 1 || eff > cfg_.ways) {
+    throw SerializeError("corrupt archive: effective ways out of range");
+  }
+  CacheStats stats;
+  stats.hits = r.u64();
+  stats.misses = r.u64();
+  std::vector<LineAddr> tags = r.vec_u64();
+  if (tags.size() != ways_.size()) {
+    throw SerializeError("corrupt archive: cache tag array size mismatch");
+  }
+  effective_ways_ = eff;
+  stats_ = stats;
+  ways_ = std::move(tags);
+}
 
 }  // namespace simprof::hw

@@ -18,6 +18,11 @@
 
 #include "support/assert.h"
 
+namespace simprof {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace simprof
+
 namespace simprof::hw {
 
 using LineAddr = std::uint64_t;  ///< cache-line index (byte address >> 6)
@@ -71,6 +76,14 @@ class Cache {
   void reset_stats() { stats_ = {}; }
 
   const CacheConfig& config() const { return cfg_; }
+
+  /// Serialize the full warm state (tag arrays in MRU order, pressure,
+  /// hit/miss counters) for unit-boundary checkpoints. Geometry is written
+  /// too: load_state throws SerializeError when the archive's geometry does
+  /// not match this cache, so a checkpoint can never be restored into a
+  /// differently shaped hierarchy.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
 
  private:
   CacheConfig cfg_;

@@ -83,6 +83,11 @@ class MemorySystem {
   const Cache& l2(std::uint32_t core) const { return *l2_.at(core); }
   const Cache& llc() const { return *llc_; }
 
+  /// Mutable access for checkpoint restore (core/checkpoint.cc).
+  Cache& l1(std::uint32_t core) { return *l1_.at(core); }
+  Cache& l2(std::uint32_t core) { return *l2_.at(core); }
+  Cache& llc() { return *llc_; }
+
  private:
   MemorySystemConfig cfg_;
   std::vector<std::unique_ptr<Cache>> l1_;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "jvm/method.h"
@@ -27,6 +28,12 @@ class CallStack {
 
   /// Innermost (currently executing) frame.
   MethodId top() const;
+
+  /// Overwrite the whole stack (checkpoint restore). Outermost frame first,
+  /// matching frames().
+  void restore_frames(std::vector<MethodId> frames) {
+    frames_ = std::move(frames);
+  }
 
  private:
   std::vector<MethodId> frames_;

@@ -32,6 +32,28 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Pure position-indexed hash: the index-th draw of a counter-based random
+/// stream, as one SplitMix64 expansion of (seed, index). Unlike drawing from
+/// a stateful generator, draw i of a seed is the same no matter how many
+/// other draws happened — which is what lets the execution engine skip over
+/// a stream's references in O(1) (checkpoint fast-forward) and still leave
+/// every later draw bit-identical.
+inline std::uint64_t hash_at(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The full serializable state of an Rng (checkpoint snapshot/restore).
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool have_spare_gaussian = false;
+  double spare_gaussian = 0.0;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// xoshiro256** 1.0 (Blackman & Vigna) — the framework's workhorse generator.
 /// Satisfies the UniformRandomBitGenerator concept so it composes with
 /// <random> distributions where convenient, but the members below avoid
@@ -97,6 +119,21 @@ class Rng {
   /// choose_k's parallel k-sweep and k-means restarts reproduce the serial
   /// schedule bit-for-bit on any thread count.
   static Rng stream(std::uint64_t seed, std::uint64_t stream_index);
+
+  /// Snapshot/restore of the complete generator state (checkpointing).
+  RngState state() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.have_spare_gaussian = have_spare_gaussian_;
+    st.spare_gaussian = spare_gaussian_;
+    return st;
+  }
+
+  void set_state(const RngState& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    have_spare_gaussian_ = st.have_spare_gaussian;
+    spare_gaussian_ = st.spare_gaussian;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -2,19 +2,24 @@
 
 namespace simprof {
 
+// Fixed-width vectors move as one block transfer: the byte layout is
+// identical to per-element writes (host is little-endian, the per-element
+// path wrote raw bits too), but a 131072-entry LLC tag array costs one
+// stream call instead of 131072 — checkpoint restore latency is the
+// denominator of the measurement speedup (see core/checkpoint.h).
 void BinaryWriter::vec_u32(const std::vector<std::uint32_t>& v) {
   u64(v.size());
-  for (auto e : v) u32(e);
+  if (!v.empty()) raw(v.data(), v.size() * sizeof(std::uint32_t));
 }
 
 void BinaryWriter::vec_u64(const std::vector<std::uint64_t>& v) {
   u64(v.size());
-  for (auto e : v) u64(e);
+  if (!v.empty()) raw(v.data(), v.size() * sizeof(std::uint64_t));
 }
 
 void BinaryWriter::vec_f64(const std::vector<double>& v) {
   u64(v.size());
-  for (auto e : v) f64(e);
+  if (!v.empty()) raw(v.data(), v.size() * sizeof(double));
 }
 
 BinaryReader::BinaryReader(std::istream& in) : in_(in) {
@@ -57,21 +62,21 @@ std::size_t BinaryReader::checked_count(std::size_t elem_size,
 std::vector<std::uint32_t> BinaryReader::vec_u32() {
   const auto n = checked_count(sizeof(std::uint32_t), "u32 vector");
   std::vector<std::uint32_t> v(n);
-  for (auto& e : v) e = u32();
+  if (n != 0) raw(v.data(), n * sizeof(std::uint32_t));
   return v;
 }
 
 std::vector<std::uint64_t> BinaryReader::vec_u64() {
   const auto n = checked_count(sizeof(std::uint64_t), "u64 vector");
   std::vector<std::uint64_t> v(n);
-  for (auto& e : v) e = u64();
+  if (n != 0) raw(v.data(), n * sizeof(std::uint64_t));
   return v;
 }
 
 std::vector<double> BinaryReader::vec_f64() {
   const auto n = checked_count(sizeof(double), "f64 vector");
   std::vector<double> v(n);
-  for (auto& e : v) e = f64();
+  if (n != 0) raw(v.data(), n * sizeof(double));
   return v;
 }
 

@@ -1,6 +1,9 @@
 #include "verify/synthetic.h"
 
+#include <sstream>
 #include <string>
+
+#include "core/checkpoint.h"
 
 namespace simprof::verify {
 
@@ -61,6 +64,62 @@ core::ThreadProfile golden_profile() {
     p.units.push_back(std::move(rec));
   }
   return p;
+}
+
+std::unique_ptr<exec::Cluster> checkpoint_fixture(std::uint64_t variant) {
+  exec::ClusterConfig cc;
+  cc.memory.l1 = {1024, 2};
+  cc.memory.l2 = {4096, 4};
+  cc.memory.llc = {16384, 4};
+  cc.memory.num_cores = 2;
+  cc.unit_instrs = 1000;
+  cc.snapshot_interval = 100;
+  cc.seed = 0xC0FFEE;
+  auto cluster = std::make_unique<exec::Cluster>(cc);
+
+  auto& registry = cluster->methods();
+  const jvm::MethodId alpha =
+      registry.intern("fixture.alpha", jvm::OpKind::kMap);
+  const jvm::MethodId beta =
+      registry.intern("fixture.beta", jvm::OpKind::kReduce);
+  if (variant % 2 == 1) registry.intern("fixture.gamma", jvm::OpKind::kSort);
+
+  // Warm the profiled core's cache hierarchy with a deterministic replay so
+  // the archived tag arrays and hit/miss statistics are non-trivial.
+  const std::uint64_t touches = 64 + 8 * variant;
+  for (std::uint64_t i = 0; i < touches; ++i) {
+    hw::MemRef ref;
+    ref.line = 1 + i % (16 + variant);
+    ref.write = i % 3 == 0;
+    cluster->memory().access(cc.profiled_core, ref);
+  }
+
+  // Position the profiled thread exactly at the fixture unit's boundary —
+  // where save_checkpoint is specified to run and where load_checkpoint's
+  // identity checks expect the replay to stand.
+  exec::ExecutorContext& ctx = cluster->context(cc.profiled_core);
+  exec::ThreadState st = ctx.capture_state();
+  st.counters.instructions = kCheckpointFixtureUnit * cc.unit_instrs;
+  st.counters.cycles = 1234 + variant;
+  st.counters.line_touches = touches;
+  st.counters.l1_misses = 7;
+  st.counters.l2_misses = 3;
+  st.counters.llc_misses = 1;
+  st.cycles_acc = 0.25;
+  st.frames = {alpha, beta};
+  st.next_snapshot_at = st.counters.instructions + cc.snapshot_interval;
+  st.next_unit_at = st.counters.instructions + cc.unit_instrs;
+  st.unit_start_counters = st.counters;
+  ctx.restore_state(st);
+  return cluster;
+}
+
+std::string fixture_checkpoint_bytes(std::uint64_t variant) {
+  const auto cluster = checkpoint_fixture(variant);
+  std::ostringstream out(std::ios::binary);
+  core::save_checkpoint(out, *cluster, kCheckpointFixtureKey,
+                        kCheckpointFixtureUnit);
+  return out.str();
 }
 
 }  // namespace simprof::verify

@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "core/profile.h"
+#include "exec/cluster.h"
 #include "support/rng.h"
 
 namespace simprof::verify {
@@ -19,5 +22,20 @@ core::ThreadProfile random_profile(Rng& rng);
 /// The fixed profile whose serialized bytes are frozen in golden_archive.h.
 /// Handcrafted (no RNG) so it can never drift with generator changes.
 core::ThreadProfile golden_profile();
+
+/// Cache key and unit index the checkpoint fixture archives are saved under.
+inline constexpr char kCheckpointFixtureKey[] = "golden-ckpt-fixture";
+inline constexpr std::uint64_t kCheckpointFixtureUnit = 2;
+
+/// A deterministic cluster positioned exactly at the boundary of
+/// kCheckpointFixtureUnit: tiny cache geometry warmed with replayed traffic,
+/// a handcrafted profiled-thread state, and a small interned method table.
+/// A pure function of `variant` (no RNG, no workload), so two calls with the
+/// same variant produce save/load-compatible twins and variant 0's archive
+/// bytes can be frozen in golden_checkpoint.h.
+std::unique_ptr<exec::Cluster> checkpoint_fixture(std::uint64_t variant = 0);
+
+/// save_checkpoint bytes of checkpoint_fixture(variant).
+std::string fixture_checkpoint_bytes(std::uint64_t variant = 0);
 
 }  // namespace simprof::verify

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 
 #include "data/catalog.h"
 #include "data/graph.h"
@@ -19,15 +20,16 @@ namespace {
 using data::Graph;
 using data::VertexId;
 
-Graph load_graph(const WorkloadParams& p, bool symmetrize,
-                 std::uint32_t default_scale) {
+std::shared_ptr<const Graph> load_graph(const WorkloadParams& p,
+                                        bool symmetrize,
+                                        std::uint32_t default_scale) {
   // Paper graphs have 2^20–2^24 vertices; scaled down 1/16–1/128 with the
   // rest of the environment. Tests override with smaller scales.
   const std::uint32_t scale =
       p.graph_scale_override != 0 ? p.graph_scale_override : default_scale;
   auto entry = data::catalog_entry(p.graph_input, scale);
   entry.kron.seed ^= p.seed * 0x9e37ULL;
-  return data::kronecker_graph(entry.kron, symmetrize);
+  return data::kronecker_graph_shared(entry.kron, symmetrize);
 }
 
 std::uint64_t label_checksum(const std::vector<VertexId>& labels) {
@@ -39,7 +41,8 @@ std::uint64_t label_checksum(const std::vector<VertexId>& labels) {
 }  // namespace
 
 WorkloadResult run_cc_spark(exec::Cluster& cluster, const WorkloadParams& p) {
-  const Graph g = load_graph(p, /*symmetrize=*/true, /*default_scale=*/17);
+  const auto g_sp = load_graph(p, /*symmetrize=*/true, /*default_scale=*/17);
+  const Graph& g = *g_sp;
   spark::SparkContext sc(cluster);
   spark::GraphX graphx(sc, g);
   auto labels = graphx.connected_components(p.max_iterations);
@@ -54,7 +57,8 @@ WorkloadResult run_cc_spark(exec::Cluster& cluster, const WorkloadParams& p) {
 
 WorkloadResult run_rank_spark(exec::Cluster& cluster,
                               const WorkloadParams& p) {
-  const Graph g = load_graph(p, /*symmetrize=*/false, /*default_scale=*/16);
+  const auto g_sp = load_graph(p, /*symmetrize=*/false, /*default_scale=*/16);
+  const Graph& g = *g_sp;
   spark::SparkContext sc(cluster);
   spark::GraphX graphx(sc, g);
   const std::uint32_t iters = std::min<std::uint32_t>(p.max_iterations, 10);
@@ -72,7 +76,8 @@ WorkloadResult run_rank_spark(exec::Cluster& cluster,
 
 WorkloadResult run_cc_hadoop(exec::Cluster& cluster,
                              const WorkloadParams& p) {
-  const Graph g = load_graph(p, /*symmetrize=*/true, /*default_scale=*/17);
+  const auto g_sp = load_graph(p, /*symmetrize=*/true, /*default_scale=*/17);
+  const Graph& g = *g_sp;
   const VertexId n = g.num_vertices();
   std::vector<VertexId> label(n);
   for (VertexId v = 0; v < n; ++v) label[v] = v;
@@ -137,7 +142,8 @@ WorkloadResult run_cc_hadoop(exec::Cluster& cluster,
 
 WorkloadResult run_rank_hadoop(exec::Cluster& cluster,
                                const WorkloadParams& p) {
-  const Graph g = load_graph(p, /*symmetrize=*/false, /*default_scale=*/16);
+  const auto g_sp = load_graph(p, /*symmetrize=*/false, /*default_scale=*/16);
+  const Graph& g = *g_sp;
   const VertexId n = g.num_vertices();
   std::vector<double> rank(n, 1.0);
   constexpr double kDamping = 0.85;

@@ -50,7 +50,8 @@ std::vector<hadoop::InputSplit<std::uint64_t>> doc_splits(
 
 WorkloadResult run_wordcount_hadoop(exec::Cluster& cluster,
                                     const WorkloadParams& p) {
-  const TextCorpus corpus = TextCorpus::synthesize(corpus_config(p));
+  const auto corpus_sp = TextCorpus::synthesize_shared(corpus_config(p));
+  const TextCorpus& corpus = *corpus_sp;
   hadoop::JobSpec<std::uint64_t, WordId, std::uint64_t> spec;
   spec.job_name = "wordcount";
   spec.mapper_name = "org.apache.hadoop.examples.WordCount$TokenizerMapper.map";
@@ -90,7 +91,8 @@ WorkloadResult run_wordcount_hadoop(exec::Cluster& cluster,
 
 WorkloadResult run_sort_hadoop(exec::Cluster& cluster,
                                const WorkloadParams& p) {
-  const TextCorpus corpus = TextCorpus::synthesize(corpus_config(p));
+  const auto corpus_sp = TextCorpus::synthesize_shared(corpus_config(p));
+  const TextCorpus& corpus = *corpus_sp;
   // Hadoop Sort: identity mapper over individual records (words); the
   // framework's sort/merge machinery does all the work. No combiner.
   std::vector<WordId> records(corpus.words().begin(), corpus.words().end());
@@ -133,7 +135,9 @@ WorkloadResult run_grep_hadoop(exec::Cluster& cluster,
   // Same input upscaling as grep_sp: grep is scan-dominated.
   WorkloadParams grep_params = p;
   grep_params.scale = p.scale * 4.0;
-  const TextCorpus corpus = TextCorpus::synthesize(corpus_config(grep_params));
+  const auto corpus_sp =
+      TextCorpus::synthesize_shared(corpus_config(grep_params));
+  const TextCorpus& corpus = *corpus_sp;
   const WordId pattern = static_cast<WordId>(corpus.vocabulary() / 64 + 3);
 
   hadoop::JobSpec<std::uint64_t, std::uint64_t, std::uint64_t> spec;
@@ -183,7 +187,9 @@ WorkloadResult run_grep_hadoop(exec::Cluster& cluster,
 WorkloadResult run_bayes_hadoop(exec::Cluster& cluster,
                                 const WorkloadParams& p) {
   constexpr std::uint32_t kClasses = 4;
-  const TextCorpus corpus = TextCorpus::synthesize(corpus_config(p, kClasses));
+  const auto corpus_sp =
+      TextCorpus::synthesize_shared(corpus_config(p, kClasses));
+  const TextCorpus& corpus = *corpus_sp;
 
   hadoop::JobSpec<std::uint64_t, std::uint64_t, std::uint64_t> spec;
   spec.job_name = "bayes";

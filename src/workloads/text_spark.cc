@@ -55,7 +55,8 @@ RddPtr<WordId> tokenized_words(spark::SparkContext& sc,
 
 WorkloadResult run_wordcount_spark(exec::Cluster& cluster,
                                    const WorkloadParams& p) {
-  const TextCorpus corpus = TextCorpus::synthesize(corpus_config(p));
+  const auto corpus_sp = TextCorpus::synthesize_shared(corpus_config(p));
+  const TextCorpus& corpus = *corpus_sp;
   spark::SparkContext sc(cluster);
   const std::size_t splits = sc.default_parallelism() + cluster.num_cores() / 2;
 
@@ -87,7 +88,8 @@ WorkloadResult run_wordcount_spark(exec::Cluster& cluster,
 
 WorkloadResult run_sort_spark(exec::Cluster& cluster,
                               const WorkloadParams& p) {
-  const TextCorpus corpus = TextCorpus::synthesize(corpus_config(p));
+  const auto corpus_sp = TextCorpus::synthesize_shared(corpus_config(p));
+  const TextCorpus& corpus = *corpus_sp;
   spark::SparkContext sc(cluster);
   const std::size_t splits = sc.default_parallelism() + cluster.num_cores() / 2;
   const double vocab = static_cast<double>(corpus.vocabulary());
@@ -129,7 +131,9 @@ WorkloadResult run_grep_spark(exec::Cluster& cluster,
   // corpus here is scaled up to keep the run length comparable.
   WorkloadParams grep_params = p;
   grep_params.scale = p.scale * 4.0;
-  const TextCorpus corpus = TextCorpus::synthesize(corpus_config(grep_params));
+  const auto corpus_sp =
+      TextCorpus::synthesize_shared(corpus_config(grep_params));
+  const TextCorpus& corpus = *corpus_sp;
   spark::SparkContext sc(cluster);
   const std::size_t splits = sc.default_parallelism() + cluster.num_cores() / 2;
   // Pattern: a mid-frequency word — rare enough that matches are selective.
@@ -166,8 +170,9 @@ WorkloadResult run_grep_spark(exec::Cluster& cluster,
 WorkloadResult run_bayes_spark(exec::Cluster& cluster,
                                const WorkloadParams& p) {
   constexpr std::uint32_t kClasses = 4;
-  const TextCorpus corpus =
-      TextCorpus::synthesize(corpus_config(p, kClasses));
+  const auto corpus_sp =
+      TextCorpus::synthesize_shared(corpus_config(p, kClasses));
+  const TextCorpus& corpus = *corpus_sp;
   spark::SparkContext sc(cluster);
   const std::size_t splits = sc.default_parallelism() + cluster.num_cores() / 2;
 

@@ -1,9 +1,13 @@
 // WorkloadLab::run_batch: bit-identity with serial run() calls for any
 // thread count, duplicate-key dedup, cache-aware hit/miss scheduling, and
-// single-flight serialization of concurrent same-key runs.
+// single-flight serialization of concurrent same-key runs. Plus
+// measure_units: checkpoint-restored measurement of selected units is
+// bit-identical to the oracle pass, with and without archives, at any
+// worker-thread count, and falls back to exact re-execution on corruption.
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -147,6 +151,107 @@ TEST(LabSingleFlight, ConcurrentSameKeyRunsOracleOnce) {
   for (std::size_t i = 1; i < kCallers; ++i) {
     EXPECT_EQ(bytes[i], bytes[0]) << "caller " << i;
   }
+}
+
+bool same_counters(const hw::PmuCounters& a, const hw::PmuCounters& b) {
+  return a.instructions == b.instructions && a.cycles == b.cycles &&
+         a.line_touches == b.line_touches && a.l1_misses == b.l1_misses &&
+         a.l2_misses == b.l2_misses && a.llc_misses == b.llc_misses &&
+         a.migrations == b.migrations;
+}
+
+/// Every measured record must equal the oracle profile's record for the same
+/// unit id, bitwise: counters, methods, and frame counts.
+void expect_records_match_oracle(const std::vector<UnitRecord>& measured,
+                                 const ThreadProfile& oracle) {
+  for (const auto& m : measured) {
+    ASSERT_LT(m.unit_id, oracle.units.size());
+    const UnitRecord& o = oracle.units[m.unit_id];
+    ASSERT_EQ(o.unit_id, m.unit_id);
+    EXPECT_TRUE(same_counters(m.counters, o.counters))
+        << "unit " << m.unit_id << " counters diverged";
+    EXPECT_EQ(m.methods, o.methods) << "unit " << m.unit_id;
+    EXPECT_EQ(m.counts, o.counts) << "unit " << m.unit_id;
+  }
+}
+
+TEST(LabMeasure, CheckpointedUnitsMatchOracleAtAnyThreadCount) {
+  for (std::size_t threads : {1u, 4u}) {
+    ScratchDir dir;
+    LabConfig cfg = small_lab(dir.c_str());
+    cfg.threads = threads;
+    cfg.checkpoint_stride = 2;
+    WorkloadLab lab(cfg);
+
+    // Oracle pass via the batch path (exercises the configured pool width)
+    // records checkpoints as a side effect.
+    const auto runs = lab.run_batch({{"grep_sp", "Google", {}}});
+    ASSERT_EQ(runs.size(), 1u);
+    const ThreadProfile& oracle = runs[0].profile;
+    ASSERT_GE(oracle.units.size(), 4u);
+
+    const std::vector<std::uint64_t> targets = {
+        1, oracle.units.size() / 2, oracle.units.size() - 1};
+    const auto m = lab.measure_units("grep_sp", "Google", targets);
+    ASSERT_EQ(m.records.size(), targets.size()) << "threads " << threads;
+    EXPECT_TRUE(m.used_checkpoints) << "threads " << threads;
+    EXPECT_FALSE(m.fallback) << "threads " << threads;
+    EXPECT_GT(m.checkpoints_restored, 0u);
+    EXPECT_GT(m.fast_forwarded_instrs, 0u);
+    expect_records_match_oracle(m.records, oracle);
+  }
+}
+
+TEST(LabMeasure, NoArchivesStillMeasuresExactlyFromColdStart) {
+  ScratchDir dir;
+  LabConfig cfg = small_lab(dir.c_str());
+  cfg.checkpoint_stride = 0;  // recording disabled → no archives on disk
+  WorkloadLab lab(cfg);
+  const ThreadProfile oracle = lab.run("grep_sp").profile;
+  ASSERT_GE(oracle.units.size(), 2u);
+
+  const auto m =
+      lab.measure_units("grep_sp", "Google", {0, oracle.units.size() - 1});
+  EXPECT_FALSE(m.used_checkpoints);
+  EXPECT_FALSE(m.fallback);  // no archives is a cold plan, not a failure
+  ASSERT_EQ(m.records.size(), 2u);
+  expect_records_match_oracle(m.records, oracle);
+}
+
+TEST(LabMeasure, CorruptArchivesFallBackToExactReexecution) {
+  ScratchDir dir;
+  LabConfig cfg = small_lab(dir.c_str());
+  cfg.checkpoint_stride = 2;
+  WorkloadLab lab(cfg);
+  const auto run = lab.run("grep_sp");
+  const ThreadProfile& oracle = run.profile;
+
+  // Truncate every published archive: any restore attempt must be rejected
+  // by the format's typed checks, never half-applied.
+  const std::filesystem::path ckpt_dir =
+      lab.checkpoint_dir_for("grep_sp", "Google", cfg.seed);
+  std::size_t corrupted = 0;
+  for (const auto& e : std::filesystem::directory_iterator(ckpt_dir)) {
+    std::string bytes;
+    {
+      std::ifstream in(e.path(), std::ios::binary);
+      std::ostringstream os;
+      os << in.rdbuf();
+      bytes = os.str();
+    }
+    std::ofstream out(e.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  const std::uint64_t fallbacks0 = counter_value("ckpt.fallback");
+  const auto m = lab.measure_units("grep_sp", "Google", {2});
+  EXPECT_TRUE(m.fallback);
+  EXPECT_EQ(counter_value("ckpt.fallback") - fallbacks0, 1u);
+  ASSERT_EQ(m.records.size(), 1u);
+  expect_records_match_oracle(m.records, oracle);
 }
 
 }  // namespace

@@ -110,5 +110,30 @@ TEST(LabCache, CorruptedCacheEntriesDegradeToMissesAndRecover) {
   EXPECT_TRUE(r.ok()) << failure_names(r);
 }
 
+TEST(CheckpointFaults, SameSeedSameFingerprint) {
+  const FaultConfig cfg{.seed = 42, .cases = 120};
+  EXPECT_EQ(verify_checkpoint_robustness(cfg).fingerprint,
+            verify_checkpoint_robustness(cfg).fingerprint);
+}
+
+TEST(CheckpointFaults, SweepAnswersWithTypedErrorsAndGoldenArchiveHolds) {
+  auto& injected = obs::metrics().counter("verify.ckpt_faults_injected");
+  const auto before = injected.value();
+  const auto r = verify_checkpoint_robustness({.seed = 1, .cases = 400});
+  EXPECT_TRUE(r.ok()) << failure_names(r);
+  EXPECT_EQ(r.cases_run, 400u);
+  EXPECT_EQ(injected.value() - before, 400u);
+  bool saw_golden = false;
+  for (const auto& c : r.checks) {
+    if (c.name == "ckpt.golden_archive_stable") saw_golden = true;
+  }
+  EXPECT_TRUE(saw_golden);
+}
+
+TEST(CheckpointFaults, CorruptedArchivesFallBackToExactReexecution) {
+  const auto r = verify_checkpoint_recovery(13);
+  EXPECT_TRUE(r.ok()) << failure_names(r);
+}
+
 }  // namespace
 }  // namespace simprof::verify

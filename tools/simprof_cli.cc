@@ -8,6 +8,8 @@
 //                   code|systematic|simprof-sys] [--seed N]
 //   simprof size    <profile.sprf> [--error 0.05] [--confidence 99.7]
 //   simprof sensitivity <workload> [--train NAME] [--scale S]
+//   simprof measure <workload> [--input NAME] [--scale S] [--seed N]
+//                   [--units LIST | -n N]
 //   simprof verify  [--cases N] [--seed N] [--resamples N] [--skip-lab]
 //
 // Global flags (any subcommand):
@@ -16,6 +18,12 @@
 //                     profiles its training + reference inputs as one
 //                     lab.run_batch). Default: hardware_concurrency;
 //                     results bit-identical for any N.
+//   --checkpoint-dir DIR
+//                     root for sampling-unit checkpoint archives (default:
+//                     $SIMPROF_CHECKPOINT_DIR or <cache>/ckpt)
+//   --checkpoint-stride K
+//                     save a checkpoint every K unit boundaries during
+//                     oracle passes; 0 disables recording (default 2)
 //   --log-level L     trace|debug|info|warn|error|off (default: info, or
 //                     $SIMPROF_LOG_LEVEL)
 //   --metrics-out F   write a JSON metrics snapshot on exit
@@ -63,6 +71,11 @@ const std::vector<FlagSpec> kGlobalFlags = {
     {"threads", "N",
      "worker threads for phase formation and batched lab runs "
      "(0 = hardware; output bit-identical for any N)"},
+    {"checkpoint-dir", "DIR",
+     "checkpoint archive root (default $SIMPROF_CHECKPOINT_DIR or "
+     "<cache>/ckpt)"},
+    {"checkpoint-stride", "K",
+     "save a checkpoint every K unit boundaries; 0 disables (default 2)"},
     {"log-level", "LEVEL", "trace|debug|info|warn|error|off (default info)"},
     {"metrics-out", "FILE", "write a JSON metrics snapshot on exit"},
     {"trace-out", "FILE", "write Chrome trace events (Perfetto) on exit"},
@@ -94,7 +107,8 @@ const std::vector<CommandSpec> kCommands = {
      "draw simulation points with a sampling technique",
      {{"n", "N", "sample size (default 20)"},
       {"technique", "T",
-       "simprof|srs|second|code|systematic|simprof-sys (default simprof)"},
+       "simprof|srs|second|code|systematic|smarts|simprof-sys "
+       "(default simprof)"},
       {"seed", "N", "sampling seed (default 1)"}}},
     {"size",
      "<profile.sprf>",
@@ -107,6 +121,16 @@ const std::vector<CommandSpec> kCommands = {
      {{"train", "NAME", "training graph input (default Google)"},
       {"scale", "S", "workload scale factor (default 1.0)"},
       {"seed", "N", "simulation seed (default 42)"}}},
+    {"measure",
+     "<workload>",
+     "measure selected sampling units via checkpoint restore + "
+     "fast-forward (SMARTS-style)",
+     {{"input", "NAME", "Table II graph input (default Google)"},
+      {"scale", "S", "workload scale factor (default 1.0)"},
+      {"seed", "N", "simulation seed (default 42)"},
+      {"units", "LIST", "comma-separated unit ids (overrides -n)"},
+      {"n", "N", "SMARTS systematic selection size (default 10)"},
+      {"sample-seed", "N", "selection seed for -n (default 1)"}}},
     {"verify",
      "",
      "fault-injection + oracle verification of the archive/cache and "
@@ -248,6 +272,22 @@ bool confidence_to_z(double pct, double& z) {
   return false;
 }
 
+/// Fold the global checkpoint flags into a lab configuration.
+bool apply_checkpoint_flags(const Args& args, core::LabConfig& cfg) {
+  cfg.checkpoint_dir = args.opt("checkpoint-dir", "");
+  if (const std::string s = args.opt("checkpoint-stride", ""); !s.empty()) {
+    try {
+      cfg.checkpoint_stride = std::stoull(s);
+    } catch (const std::exception&) {
+      std::cerr << "error: --checkpoint-stride expects a non-negative "
+                   "integer, got '"
+                << s << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 core::ThreadProfile load_profile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -277,6 +317,7 @@ int cmd_profile(const Args& args) {
   cfg.scale = std::stod(args.opt("scale", "1.0"));
   cfg.seed = std::stoull(args.opt("seed", "42"));
   cfg.use_cache = false;
+  if (!apply_checkpoint_flags(args, cfg)) return 2;
   core::WorkloadLab lab(cfg);
   const std::string input = args.opt("input", "Google");
   std::cout << "running " << workload << " (input " << input << ", scale "
@@ -337,6 +378,8 @@ int cmd_sample(const Args& args) {
     plan = core::second_sample(profile, 0.1, 2.0);
   } else if (tech == "systematic") {
     plan = core::systematic_sample(profile, n, seed);
+  } else if (tech == "smarts") {
+    plan = core::smarts_sample(profile, n, seed);
   } else if (tech == "code" || tech == "simprof" || tech == "simprof-sys") {
     const auto model = core::form_phases(profile);
     plan = tech == "code"
@@ -347,7 +390,8 @@ int cmd_sample(const Args& args) {
                                                         seed));
   } else {
     std::cerr << "error: unknown technique '" << tech
-              << "' (simprof|srs|second|code|systematic|simprof-sys)\n";
+              << "' (simprof|srs|second|code|systematic|smarts|"
+                 "simprof-sys)\n";
     return 2;
   }
 
@@ -392,6 +436,7 @@ int cmd_sensitivity(const Args& args) {
   core::LabConfig cfg;
   cfg.scale = std::stod(args.opt("scale", "1.0"));
   cfg.seed = std::stoull(args.opt("seed", "42"));
+  if (!apply_checkpoint_flags(args, cfg)) return 2;
   core::WorkloadLab lab(cfg);
   const std::string train_name = args.opt("train", "Google");
   // One batch covers the training input and every reference: cache misses
@@ -425,6 +470,60 @@ int cmd_sensitivity(const Args& args) {
   return 0;
 }
 
+int cmd_measure(const Args& args) {
+  const std::string workload = args.positional[0];
+  core::LabConfig cfg;
+  cfg.scale = std::stod(args.opt("scale", "1.0"));
+  cfg.seed = std::stoull(args.opt("seed", "42"));
+  if (!apply_checkpoint_flags(args, cfg)) return 2;
+  core::WorkloadLab lab(cfg);
+  const std::string input = args.opt("input", "Google");
+
+  // The oracle pass populates the profile cache and (stride permitting)
+  // records the checkpoint archives the fast path restores from.
+  auto run = lab.run(workload, input);
+
+  std::vector<std::uint64_t> units;
+  if (const std::string list = args.opt("units", ""); !list.empty()) {
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string tok =
+          list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      try {
+        units.push_back(std::stoull(tok));
+      } catch (const std::exception&) {
+        std::cerr << "error: --units expects comma-separated unit ids, got '"
+                  << tok << "'\n";
+        return 2;
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  } else {
+    const auto n = static_cast<std::size_t>(std::stoul(args.opt("n", "10")));
+    const auto sample_seed = std::stoull(args.opt("sample-seed", "1"));
+    const auto plan = core::smarts_sample(run.profile, n, sample_seed);
+    for (const auto& pt : plan.points) {
+      units.push_back(run.profile.units[pt.unit_index].unit_id);
+    }
+  }
+
+  const auto m = lab.measure_units(workload, input, units);
+  Table t({"unit_id", "instructions", "cycles", "cpi"});
+  for (const auto& u : m.records) {
+    t.row({std::to_string(u.unit_id), std::to_string(u.counters.instructions),
+           std::to_string(u.counters.cycles), Table::num(u.cpi(), 4)});
+  }
+  t.print_aligned(std::cout);
+  std::cout << "measured " << m.records.size() << "/" << units.size()
+            << " requested units\n"
+            << "checkpoints_restored=" << m.checkpoints_restored
+            << " fallback=" << (m.fallback ? 1 : 0)
+            << " fast_forwarded_instrs=" << m.fast_forwarded_instrs << '\n';
+  return 0;
+}
+
 int cmd_verify(const Args& args) {
   const auto cases =
       static_cast<std::size_t>(std::stoul(args.opt("cases", "500")));
@@ -438,6 +537,9 @@ int cmd_verify(const Args& args) {
   std::cout << "archive fault injection (" << cases << " cases, seed " << seed
             << ")...\n";
   report.merge(verify::verify_archive_robustness({seed, cases}));
+  std::cout << "checkpoint fault injection (" << cases << " cases, seed "
+            << seed << ")...\n";
+  report.merge(verify::verify_checkpoint_robustness({seed, cases}));
   std::cout << "statistical oracle harness (" << resamples
             << " coverage resamples)...\n";
   verify::OracleConfig oracle;
@@ -447,6 +549,8 @@ int cmd_verify(const Args& args) {
   if (!args.has("skip-lab")) {
     std::cout << "lab cache corruption drill (tiny workload)...\n";
     report.merge(verify::verify_lab_cache_recovery(seed));
+    std::cout << "checkpoint corruption drill (tiny workload)...\n";
+    report.merge(verify::verify_checkpoint_recovery(seed));
   }
 
   std::cout << '\n';
@@ -560,6 +664,7 @@ int main(int argc, char** argv) {
     if (cmd->name == "sample") return cmd_sample(args);
     if (cmd->name == "size") return cmd_size(args);
     if (cmd->name == "sensitivity") return cmd_sensitivity(args);
+    if (cmd->name == "measure") return cmd_measure(args);
     if (cmd->name == "verify") return cmd_verify(args);
     return 2;  // unreachable: find_command validated the name
   } catch (const std::exception& e) {
