@@ -13,6 +13,9 @@
 //   --log-level LEVEL  — trace|debug|info|warn|error|off
 //   --metrics-out FILE — JSON metrics snapshot written at exit
 //   --trace-out FILE   — Chrome trace events (Perfetto) written at exit
+//   --manifest-out F   — run-manifest path (default: automatic under
+//                        $SIMPROF_MANIFEST_DIR or .simprof_manifests/)
+//   --no-manifest      — skip the run manifest
 #pragma once
 
 #include <cstdlib>
@@ -21,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/lab.h"
 #include "core/phase.h"
 #include "core/sampling.h"
@@ -30,11 +34,14 @@ namespace simprof::bench {
 
 /// RAII observability session for bench mains: strips the obs flags out of
 /// argc/argv (so downstream parsers like google-benchmark never see them),
-/// applies the log level, arms tracing, and writes the requested trace /
-/// metrics files on destruction.
+/// applies the log level, arms tracing, starts the run ledger, and writes
+/// the requested trace / metrics files plus the run manifest on destruction.
 class ObsSession {
  public:
   ObsSession(int& argc, char** argv) {
+    std::vector<std::string> raw_args(argv + 1, argv + argc);
+    bool no_manifest = false;
+    std::string manifest_out;
     int keep = 1;
     for (int i = 1; i < argc; ++i) {
       std::string value;
@@ -49,20 +56,40 @@ class ObsSession {
         metrics_out_ = value;
       } else if (match(argc, argv, i, "--trace-out", value)) {
         trace_out_ = value;
+      } else if (match(argc, argv, i, "--manifest-out", value)) {
+        manifest_out = value;
+      } else if (std::strcmp(argv[i], "--no-manifest") == 0) {
+        no_manifest = true;
       } else {
         argv[keep++] = argv[i];
       }
     }
     argc = keep;
-    if (!trace_out_.empty()) obs::start_tracing();
+
+    // Bench name from argv[0]'s basename — the manifest's verb.
+    std::string verb = argv[0];
+    if (const auto slash = verb.find_last_of('/');
+        slash != std::string::npos) {
+      verb = verb.substr(slash + 1);
+    }
+    obs::ledger().begin("simprof-bench", verb, std::move(raw_args));
+    obs::ledger().set_schema("cache", core::kLabCacheSchema);
+    obs::ledger().set_schema("checkpoint", core::kCheckpointVersion);
+    if (no_manifest) obs::ledger().disable();
+    if (!manifest_out.empty()) obs::ledger().set_output_path(manifest_out);
+    if (const char* s = std::getenv("SIMPROF_SCALE")) {
+      obs::ledger().set_config("scale", s);
+    }
+    // Span rollups need trace events, so a manifest-emitting bench always
+    // collects spans (observation only — cannot perturb results).
+    if (!trace_out_.empty() || obs::ledger().enabled()) obs::start_tracing();
   }
 
   ~ObsSession() {
-    if (!trace_out_.empty()) {
-      obs::stop_tracing();
-      obs::write_trace(trace_out_);
-    }
+    if (obs::trace_enabled()) obs::stop_tracing();
+    if (!trace_out_.empty()) obs::write_trace(trace_out_);
     if (!metrics_out_.empty()) obs::metrics().write_json(metrics_out_);
+    obs::ledger().write();
   }
 
   ObsSession(const ObsSession&) = delete;

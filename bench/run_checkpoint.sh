@@ -33,6 +33,7 @@ trap 'rm -f "$metrics_tmp"' EXIT
 
 "$BENCH_BUILD_DIR"/bench/perf_checkpoint \
   --metrics-out "$metrics_tmp" \
+  --manifest-out MANIFEST_checkpoint.json \
   --benchmark_out=BENCH_checkpoint.json \
   --benchmark_out_format=json \
   --benchmark_context=build_type="$SIMPROF_BUILD_TYPE" \

@@ -27,6 +27,7 @@ trap 'rm -f "$metrics_tmp"' EXIT
 
 "$BENCH_BUILD_DIR"/bench/perf_lab \
   --metrics-out "$metrics_tmp" \
+  --manifest-out MANIFEST_lab_pipeline.json \
   --benchmark_out=BENCH_lab_pipeline.json \
   --benchmark_out_format=json \
   --benchmark_context=seed_pipeline=dense_column_copy_pearson_serial \

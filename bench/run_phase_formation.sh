@@ -21,6 +21,7 @@ trap 'rm -f "$metrics_tmp"' EXIT
 
 "$BENCH_BUILD_DIR"/bench/perf_core \
   --metrics-out "$metrics_tmp" \
+  --manifest-out MANIFEST_phase_formation.json \
   --benchmark_filter='BM_KMeans|BM_ChooseK|BM_Silhouette|BM_FormPhases' \
   --benchmark_out=BENCH_phase_formation.json \
   --benchmark_out_format=json \

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -454,6 +455,8 @@ void CheckpointReplayer::replay(const exec::ClusterConfig& cc) {
   static obs::Counter& restore_ctr = obs::metrics().counter("ckpt.restore");
   static obs::Counter& restore_bytes =
       obs::metrics().counter("ckpt.restore_bytes");
+  static obs::QuantileHistogram& restore_ms =
+      obs::metrics().quantile_histogram("ckpt.restore_ms");
 
   exec::Cluster cluster(cc);
   cluster.set_profiling_hook(this);
@@ -474,6 +477,7 @@ void CheckpointReplayer::replay(const exec::ClusterConfig& cc) {
 
     if (!loaded || loaded_unit != start) {
       obs::ObsSpan span("ckpt.restore", {{"unit", start}});
+      const auto t0 = std::chrono::steady_clock::now();
       const std::string path =
           (std::filesystem::path(dir_) / checkpoint_file_name(start))
               .string();
@@ -490,6 +494,9 @@ void CheckpointReplayer::replay(const exec::ClusterConfig& cc) {
       restored_bytes_ += bytes;
       restore_ctr.increment();
       restore_bytes.add(bytes);
+      restore_ms.observe(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
       loaded = true;
       loaded_unit = start;
       op_idx = 0;

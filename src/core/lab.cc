@@ -7,8 +7,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <chrono>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 
@@ -21,11 +23,6 @@
 namespace simprof::core {
 
 namespace {
-// Schema 5: access streams switched to counter-based per-stream seeds
-// (hw/access_stream.cc), which changes the simulated traffic of cached
-// profiles recorded under schema 4.
-constexpr std::uint32_t kCacheSchema = 5;  // bump to invalidate cached runs
-
 /// Process-wide per-cache-key locks: two concurrent runs of the same
 /// configuration — from one batch, two labs, or two threads — serialize
 /// here, so the oracle pass runs exactly once and the .tmp/rename publish
@@ -49,7 +46,62 @@ class SingleFlight {
   std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<std::mutex>> locks_;
 };
+
+/// Run the stale-checkpoint sweep at most once per root per process —
+/// recorder startup is on the oracle-pass path, and one sweep per process
+/// covers every run sharing the root.
+void prune_stale_checkpoint_dirs_once(const std::string& root) {
+  static std::mutex mu;
+  static std::set<std::string>* seen = new std::set<std::string>;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!seen->insert(root).second) return;
+  }
+  prune_stale_checkpoint_dirs(root);
+}
 }  // namespace
+
+std::size_t prune_stale_checkpoint_dirs(const std::string& root) {
+  static obs::Counter& pruned = obs::metrics().counter("ckpt.pruned");
+  std::error_code ec;
+  std::filesystem::directory_iterator it(root, ec);
+  if (ec) return 0;  // missing/unreadable root: nothing to prune
+  std::size_t removed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    if (ec) break;
+    std::error_code dec;
+    if (!entry.is_directory(dec) || dec) continue;
+    // Checkpoint dirs are named after their cache key, which ends in the
+    // schema suffix "-v<digits>". Anything else in the root is left alone.
+    const std::string name = entry.path().filename().string();
+    const std::size_t vpos = name.rfind("-v");
+    if (vpos == std::string::npos || vpos + 2 >= name.size()) continue;
+    const std::string digits = name.substr(vpos + 2);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    std::uint32_t schema = 0;
+    try {
+      schema = static_cast<std::uint32_t>(std::stoul(digits));
+    } catch (...) {
+      continue;
+    }
+    if (schema == kLabCacheSchema) continue;
+    std::error_code rec;
+    std::filesystem::remove_all(entry.path(), rec);
+    if (rec) {
+      SIMPROF_LOG(kWarn) << "lab: failed to prune stale checkpoint dir "
+                         << entry.path().string() << ": " << rec.message();
+      continue;
+    }
+    ++removed;
+    pruned.increment();
+  }
+  if (removed > 0) {
+    SIMPROF_LOG(kWarn) << "lab: pruned " << removed
+                       << " stale checkpoint dir(s) under " << root
+                       << " (schema != v" << kLabCacheSchema << ")";
+  }
+  return removed;
+}
 
 WorkloadLab::WorkloadLab(LabConfig cfg) : cfg_(cfg) {
   if (!cfg_.cache_dir.empty()) {
@@ -85,7 +137,7 @@ std::string WorkloadLab::cache_key(const std::string& workload_name,
   key << workload_name << '-' << graph_input << "-s" << cfg_.scale << "-seed"
       << seed << "-c" << cfg_.num_cores << "-g"
       << cfg_.graph_scale_override << "-u" << cfg_.unit_instrs << "-v"
-      << kCacheSchema;
+      << kLabCacheSchema;
   return key.str();
 }
 
@@ -110,6 +162,8 @@ std::optional<LabRun> WorkloadLab::try_load_cached(
     const std::string& graph_input) {
   static obs::Counter& hits = obs::metrics().counter("lab.cache_hits");
   static obs::Counter& corrupt = obs::metrics().counter("lab.cache_corrupt");
+  static obs::QuantileHistogram& load_ms =
+      obs::metrics().quantile_histogram("lab.cache_load_ms");
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   // A cache file that fails to decode — bad magic, version skew, truncation
@@ -117,8 +171,12 @@ std::optional<LabRun> WorkloadLab::try_load_cached(
   // oracle pass regenerates and overwrites it.
   try {
     obs::ObsSpan load_span("lab.cache_load", {{"workload", workload_name}});
+    const auto t0 = std::chrono::steady_clock::now();
     LabRun r;
     r.profile = ThreadProfile::load(in);
+    load_ms.observe(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
     r.from_cache = true;
     r.cache_path = path;
     hits.increment();
@@ -187,6 +245,9 @@ LabRun WorkloadLab::run_config(const std::string& workload_name,
   // measure any unit in O(selected units) instead of O(run length).
   std::optional<CheckpointRecorder> recorder;
   if (cfg_.use_cache && cfg_.checkpoint_stride > 0) {
+    // Recorder startup also sweeps archives recorded under an older cache
+    // schema out of the shared root — the replayer would reject them anyway.
+    prune_stale_checkpoint_dirs_once(checkpoint_root_);
     recorder.emplace(checkpoint_dir_for(workload_name, graph_input, seed),
                      cache_key(workload_name, graph_input, seed),
                      cfg_.checkpoint_stride);
@@ -200,13 +261,19 @@ LabRun WorkloadLab::run_config(const std::string& workload_name,
   params.graph_input = graph_input;
   params.graph_scale_override = cfg_.graph_scale_override;
 
+  static obs::QuantileHistogram& run_ms =
+      obs::metrics().quantile_histogram("lab.run_ms");
   LabRun r;
   {
     obs::ObsSpan run_span("lab.workload_run", {{"workload", workload_name},
                                                {"input", graph_input}});
+    const auto t0 = std::chrono::steady_clock::now();
     r.result = info.run(cluster, params);
     if (recorder) recorder->finalize();  // publish the trailing window
     r.profile = manager.take_profile();
+    run_ms.observe(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
   }
   SIMPROF_ENSURES(r.profile.num_units() > 0,
                   "workload produced no sampling units: " + workload_name);
@@ -370,6 +437,14 @@ std::vector<LabRun> WorkloadLab::run_batch(const std::vector<BatchItem>& items) 
                     {{"items", n},
                      {"unique", uniq.size()},
                      {"scheduled_misses", scheduled_misses}});
+  // Progress feed for the heartbeat: total published once, done ticks as
+  // each unique configuration completes (observation only — never read back
+  // by the batch itself).
+  static obs::Counter& batch_done =
+      obs::metrics().counter("progress.batch_done");
+  obs::metrics()
+      .gauge("progress.batch_total")
+      .set(static_cast<double>(uniq.size()));
   std::vector<LabRun> results(uniq.size());
   support::parallel_for(
       cfg_.threads, 0, order.size(), 1,
@@ -379,6 +454,7 @@ std::vector<LabRun> WorkloadLab::run_batch(const std::vector<BatchItem>& items) 
           const BatchItem& item = items[u.item];
           results[order[j]] =
               run_config(item.workload, item.graph_input, u.seed);
+          batch_done.increment();
         }
       });
 

@@ -21,6 +21,20 @@
 
 namespace simprof::core {
 
+/// Cache schema version: part of every cache key and checkpoint directory
+/// name ("…-v5"); bump to invalidate cached runs. Schema 5: access streams
+/// switched to counter-based per-stream seeds (hw/access_stream.cc), which
+/// changes the simulated traffic of cached profiles recorded under schema 4.
+inline constexpr std::uint32_t kLabCacheSchema = 5;
+
+/// Delete checkpoint archive directories under `root` whose name carries a
+/// stale schema suffix ("-v<digits>" with digits != kLabCacheSchema) — the
+/// replayer would reject them anyway, so they are pure disk waste. Returns
+/// the number of directories removed; each removal bumps the `ckpt.pruned`
+/// counter, and a non-zero sweep logs one kWarn summary line. A missing
+/// root is a no-op.
+std::size_t prune_stale_checkpoint_dirs(const std::string& root);
+
 struct LabConfig {
   double scale = 1.0;
   std::uint64_t seed = 42;

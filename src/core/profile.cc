@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/metrics.h"
 #include "support/assert.h"
 #include "support/serialize.h"
 
@@ -130,6 +131,9 @@ void SamplingManager::on_snapshot(std::span<const jvm::MethodId> stack) {
 }
 
 void SamplingManager::on_unit_boundary(const hw::PmuCounters& delta) {
+  // Progress feed for the heartbeat (units/s); observation only.
+  static obs::Counter& units_done = obs::metrics().counter("progress.units");
+  units_done.increment();
   UnitRecord u;
   u.unit_id = units_.size();
   u.counters = delta;

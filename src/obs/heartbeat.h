@@ -1,0 +1,50 @@
+// Heartbeat + flight recorder for long runs.
+//
+// start_heartbeat() spawns one background thread that (a) logs a periodic
+// progress line — units processed, units/s, and an ETA when the pipeline
+// published a batch total — and (b) serves on-demand live dumps: SIGUSR1
+// (or request_flight_record()) makes the thread write a flight-record JSON
+// file containing the currently-open trace spans and the full metrics
+// snapshot, so a stuck run can be diagnosed without killing it.
+//
+// Progress is read from the ordinary metrics registry (`progress.units`
+// counter, `progress.batch_done` counter, `progress.batch_total` gauge) —
+// the heartbeat only observes; it never feeds back into any computation.
+// The signal handler itself only sets an atomic flag (async-signal-safe);
+// all I/O happens on the heartbeat thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace simprof::obs {
+
+struct HeartbeatConfig {
+  /// Seconds between progress lines. The thread polls at a finer grain so
+  /// flight-record requests are served promptly.
+  double period_s = 10.0;
+  /// Where flight records are written. Empty → "simprof-flightrec-<pid>.json"
+  /// in the working directory.
+  std::string flightrec_path;
+  /// Install a SIGUSR1 handler that triggers a flight record.
+  bool install_sigusr1 = true;
+};
+
+/// Start the heartbeat thread (no-op when already running).
+void start_heartbeat(const HeartbeatConfig& config = {});
+
+/// Stop and join the heartbeat thread; restores the previous SIGUSR1
+/// handler. Safe to call when not running.
+void stop_heartbeat();
+
+bool heartbeat_running();
+
+/// Ask the heartbeat thread for a flight record (same path as SIGUSR1, for
+/// callers holding no signal). Served within one poll interval.
+void request_flight_record();
+
+/// The flight-record document: open spans + metrics snapshot. Usable
+/// directly (without the thread) by tests and the CLI.
+std::string flight_record_json();
+
+}  // namespace simprof::obs

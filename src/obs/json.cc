@@ -1,9 +1,22 @@
 #include "obs/json.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+
 namespace simprof::obs {
+namespace {
+
+// Registered at namespace scope (pre-main), never under the registry mutex —
+// json_number is called from MetricsRegistry::to_json with that mutex held,
+// so a lazy first-use lookup there would self-deadlock. Counter::add itself
+// is lock-free.
+Counter& g_nonfinite = metrics().counter("obs.json_nonfinite");
+
+}  // namespace
 
 void json_append_quoted(std::string& out, std::string_view s) {
   out.push_back('"');
@@ -36,7 +49,18 @@ std::string json_quote(std::string_view s) {
 }
 
 std::string json_number(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) {
+    // JSON cannot represent NaN/±inf; emit 0 but make the bad
+    // instrumentation visible instead of silently absorbing it.
+    g_nonfinite.increment();
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      SIMPROF_LOG(kWarn)
+          << "json: non-finite number emitted as 0 (further occurrences "
+             "counted in obs.json_nonfinite, logged once)";
+    }
+    return "0";
+  }
   char buf[32];
   // %.17g round-trips doubles; trim to %g readability where exact.
   std::snprintf(buf, sizeof(buf), "%.12g", v);

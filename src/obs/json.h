@@ -1,5 +1,7 @@
-// Minimal JSON emission helpers shared by the metrics exporter and the
-// Chrome-trace writer. Emission only — the obs layer never parses JSON.
+// Minimal JSON emission helpers shared by the metrics exporter, the
+// Chrome-trace writer and the run-ledger manifest. Emission only — the one
+// obs component that *reads* JSON (`simprof report`, obs/report.h) carries
+// its own small recursive-descent reader.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +18,9 @@ void json_append_quoted(std::string& out, std::string_view s);
 std::string json_quote(std::string_view s);
 
 /// A double as a JSON number. NaN/±inf are not representable in JSON and
-/// are emitted as 0 (they never arise from well-formed instrumentation).
+/// are emitted as 0 — but never silently: each occurrence bumps the
+/// `obs.json_nonfinite` counter and the first one logs a kWarn line, so
+/// broken instrumentation is visible in every metrics snapshot.
 std::string json_number(double v);
 
 std::string json_number(std::uint64_t v);

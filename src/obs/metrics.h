@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace simprof::obs {
@@ -103,6 +104,72 @@ class Histogram {
   std::string name_;
 };
 
+/// Log-bucketed (HDR-style) histogram with deterministic quantile
+/// estimation — the latency/size workhorse of the run ledger.
+///
+/// Bucketing is log-linear over the double's binary exponent: every octave
+/// [2^e, 2^(e+1)) splits into kSubBuckets equal sub-buckets, giving a fixed
+/// ≤ 1/kSubBuckets relative quantile error over [2^kMinExp, 2^kMaxExp)
+/// (≈ 1e-6 .. 1.7e13 — ns..hours of time, bytes..TBs of size). Values
+/// below the range (and ≤ 0) land in the underflow bucket, values at or
+/// above it in the overflow bucket; NaN observations are dropped and
+/// counted (nonfinite()).
+///
+/// Determinism contract: the bucket index is computed with std::frexp
+/// (exact exponent/mantissa split — no libm rounding), bucket counts are
+/// sharded integer cells merged by summation, and min/max are commutative
+/// CAS updates, so merged counts, min/max, and every quantile are
+/// bit-identical for any thread count and any interleaving of the same
+/// observation multiset.
+class QuantileHistogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // per octave
+  static constexpr int kMinExp = -20;  ///< smallest bucketed octave, 2^-20
+  static constexpr int kMaxExp = 44;   ///< first overflow value, 2^44
+  /// Underflow + log-linear range + overflow.
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  void observe(double v) noexcept;
+
+  /// Bucket index a value lands in (0 = underflow, kBuckets-1 = overflow).
+  static std::size_t bucket_index(double v) noexcept;
+  /// Exclusive upper bound of a non-overflow bucket (exact power-of-two
+  /// arithmetic; the value a quantile in this bucket reports).
+  static double bucket_upper_bound(std::size_t index) noexcept;
+
+  /// Merged per-bucket totals, length kBuckets — exact for any interleaving.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  std::uint64_t nonfinite() const noexcept;
+
+  /// Exact smallest / largest finite observation (0 when empty).
+  double min() const noexcept;
+  double max() const noexcept;
+
+  /// Quantile estimate at q ∈ [0, 1] (nearest-rank over merged buckets,
+  /// reported as the bucket's upper bound clamped into [min, max] — a
+  /// single-sample histogram therefore reports the sample exactly). 0 when
+  /// empty. Bit-identical for any thread count.
+  double quantile(double q) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit QuantileHistogram(std::string name);
+  void reset() noexcept;
+
+  /// Shard-major cells (shard × kBuckets): a thread walks only its own
+  /// contiguous block, so shards never false-share.
+  std::vector<std::atomic<std::uint64_t>> cells_;
+  std::atomic<std::uint64_t> nonfinite_{0};
+  std::atomic<std::uint64_t> min_bits_;  ///< double bits, CAS-min
+  std::atomic<std::uint64_t> max_bits_;  ///< double bits, CAS-max
+  std::string name_;
+};
+
 class MetricsRegistry {
  public:
   /// Find-or-create. Handles are stable for the process lifetime.
@@ -111,6 +178,11 @@ class MetricsRegistry {
   /// `bounds` must be strictly increasing; on re-lookup of an existing
   /// histogram the bounds argument is ignored.
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  QuantileHistogram& quantile_histogram(std::string_view name);
+
+  /// Merged (name, value) snapshot of every counter, sorted by name — the
+  /// run ledger's source for derived sections (checkpoint health etc.).
+  std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() const;
 
   /// Deterministic JSON snapshot: metrics sorted by name, sharded cells
   /// merged by integer summation.

@@ -1,10 +1,14 @@
 // Umbrella header for the observability layer: structured logging
-// (SIMPROF_LOG), the metrics registry (metrics()), and Chrome-trace spans
-// (ObsSpan, trace_virtual_span). See the individual headers for contracts;
-// the shared one: observability never reads RNG state and never feeds back
-// into computation, so enabling any of it cannot perturb results.
+// (SIMPROF_LOG), the metrics registry (metrics()), Chrome-trace spans
+// (ObsSpan, trace_virtual_span), the run ledger + regression report
+// (ledger(), diff_manifests) and the heartbeat/flight recorder. See the
+// individual headers for contracts; the shared one: observability never
+// reads RNG state and never feeds back into computation, so enabling any of
+// it cannot perturb results.
 #pragma once
 
-#include "obs/log.h"      // IWYU pragma: export
-#include "obs/metrics.h"  // IWYU pragma: export
-#include "obs/trace.h"    // IWYU pragma: export
+#include "obs/heartbeat.h"  // IWYU pragma: export
+#include "obs/log.h"        // IWYU pragma: export
+#include "obs/metrics.h"    // IWYU pragma: export
+#include "obs/report.h"     // IWYU pragma: export
+#include "obs/trace.h"      // IWYU pragma: export

@@ -1,11 +1,14 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <set>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -122,6 +125,41 @@ std::string lane_name(std::uint32_t pid, std::uint32_t tid) {
   return "core " + std::to_string(tid);
 }
 
+/// Registry of currently-open wall-clock spans, keyed by the ObsSpan's
+/// address (spans are neither copyable nor movable, so the address is
+/// stable for the span's lifetime). Feeds the flight recorder's live dump.
+struct OpenRec {
+  const char* name;
+  std::uint32_t tid;
+  std::uint64_t start_ns;
+  std::uint64_t seq;  // registration order (oldest first)
+};
+
+struct OpenSpanState {
+  std::mutex mu;
+  std::uint64_t next_seq = 0;
+  std::map<const void*, OpenRec> spans;
+};
+
+OpenSpanState& open_state() {
+  static OpenSpanState* s = new OpenSpanState;  // leaky, like state()
+  return *s;
+}
+
+void register_open_span(const void* key, const char* name,
+                        std::uint64_t start_ns) {
+  OpenSpanState& s = open_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.spans.emplace(key,
+                  OpenRec{name, this_thread_tag(), start_ns, s.next_seq++});
+}
+
+void unregister_open_span(const void* key) {
+  OpenSpanState& s = open_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.spans.erase(key);
+}
+
 }  // namespace
 
 bool trace_enabled() { return g_enabled.load(std::memory_order_relaxed); }
@@ -181,6 +219,110 @@ std::string trace_to_json() {
   return out;
 }
 
+std::vector<SpanRollupRow> span_rollup() {
+  // Snapshot the complete events, dropping scheduling internals ("pool.*"):
+  // pool.parallel_for only exists on the parallel path (the serial inline
+  // path never emits it), so its count varies with --threads and would
+  // break the rollup's cross-thread-count (name, count) identity.
+  struct Ev {
+    std::uint32_t pid, tid;
+    double ts, dur;
+    const std::string* name;
+  };
+  TraceState& s = state();
+  std::vector<Ev> evs;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    evs.reserve(s.events.size());
+    for (const Event& ev : s.events) {
+      if (ev.phase != 'X') continue;
+      if (std::string_view(ev.name).substr(0, 5) == "pool.") continue;
+      evs.push_back(Ev{ev.pid, ev.tid, ev.ts_us, ev.dur_us, &ev.name});
+    }
+    // NOTE: `name` points into s.events; we finish all reads below before
+    // releasing anything, and events are only cleared by clear_trace() which
+    // takes the same mutex — but we must not hold pointers past this scope.
+    // So do the whole aggregation under the lock.
+    std::map<std::pair<bool, std::string>, SpanRollupRow> rows;
+    // Per-lane stack pass: sort a lane's events by (ts asc, dur desc, name)
+    // so parents precede their children, then track nesting with a stack to
+    // apportion self time.
+    std::stable_sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+      if (a.pid != b.pid) return a.pid < b.pid;
+      if (a.tid != b.tid) return a.tid < b.tid;
+      if (a.ts != b.ts) return a.ts < b.ts;
+      if (a.dur != b.dur) return a.dur > b.dur;
+      return *a.name < *b.name;
+    });
+    struct Frame {
+      double end;
+      double child_us = 0.0;
+      const std::string* name;
+      bool virt;
+    };
+    std::vector<Frame> stack;
+    auto flush_top = [&](const Frame& f, double dur) {
+      rows[{f.virt, *f.name}].self_us += dur - f.child_us;
+    };
+    std::uint32_t cur_pid = 0, cur_tid = 0;
+    bool have_lane = false;
+    std::vector<double> durs;  // parallel to stack: each frame's duration
+    auto pop_frame = [&] {
+      flush_top(stack.back(), durs.back());
+      stack.pop_back();
+      durs.pop_back();
+    };
+    for (const Ev& ev : evs) {
+      if (!have_lane || ev.pid != cur_pid || ev.tid != cur_tid) {
+        while (!stack.empty()) pop_frame();
+        cur_pid = ev.pid;
+        cur_tid = ev.tid;
+        have_lane = true;
+      }
+      while (!stack.empty() && stack.back().end <= ev.ts) pop_frame();
+      if (!stack.empty()) stack.back().child_us += ev.dur;
+      const bool virt = ev.pid == kVirtualPid;
+      SpanRollupRow& row = rows[{virt, *ev.name}];
+      if (row.count == 0) {
+        row.name = *ev.name;
+        row.virtual_timeline = virt;
+      }
+      ++row.count;
+      row.total_us += ev.dur;
+      row.max_us = std::max(row.max_us, ev.dur);
+      stack.push_back(Frame{ev.ts + ev.dur, 0.0, ev.name, virt});
+      durs.push_back(ev.dur);
+    }
+    while (!stack.empty()) pop_frame();
+    std::vector<SpanRollupRow> out;
+    out.reserve(rows.size());
+    for (auto& [key, row] : rows) out.push_back(std::move(row));
+    return out;
+  }
+}
+
+std::vector<OpenSpanInfo> open_spans() {
+  OpenSpanState& s = open_state();
+  const std::uint64_t now = now_ns();
+  std::vector<std::pair<std::uint64_t, OpenSpanInfo>> tmp;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    tmp.reserve(s.spans.size());
+    for (const auto& [key, rec] : s.spans) {
+      tmp.emplace_back(
+          rec.seq,
+          OpenSpanInfo{rec.name, rec.tid,
+                       static_cast<double>(now - rec.start_ns) / 1000.0});
+    }
+  }
+  std::sort(tmp.begin(), tmp.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<OpenSpanInfo> out;
+  out.reserve(tmp.size());
+  for (auto& [seq, info] : tmp) out.push_back(std::move(info));
+  return out;
+}
+
 bool write_trace(const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -203,10 +345,12 @@ ObsSpan::ObsSpan(const char* name, std::initializer_list<TraceArg> args) {
   name_ = name;
   args_json_ = render_args(args);
   start_ns_ = now_ns();
+  register_open_span(this, name_, start_ns_);
 }
 
 ObsSpan::~ObsSpan() {
   if (!armed_) return;
+  unregister_open_span(this);
   const std::uint64_t end_ns = now_ns();
   Event ev;
   ev.phase = 'X';

@@ -27,6 +27,7 @@
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <vector>
 
 namespace simprof::obs {
 
@@ -86,6 +87,39 @@ void clear_trace();
 
 /// Serialize the buffer as a Chrome trace-event JSON object.
 std::string trace_to_json();
+
+/// One aggregated row of the span-rollup profile (see span_rollup()).
+struct SpanRollupRow {
+  std::string name;
+  bool virtual_timeline = false;  ///< virtual-clock (µs are cycles/2000)
+  std::uint64_t count = 0;
+  double total_us = 0.0;  ///< inclusive time
+  double self_us = 0.0;   ///< total minus nested same-lane spans
+  double max_us = 0.0;    ///< longest single span
+};
+
+/// Aggregate the buffered complete ('X') events into a per-name profile:
+/// call counts, inclusive time and self time (inclusive minus the time of
+/// spans nested inside on the same lane), sorted by (timeline, name).
+///
+/// Determinism contract: spans instrument logical work items (a stage, a
+/// candidate k, a cache load), so the rollup's (name, count) sequence is
+/// bit-identical across thread counts; wall-clock times are measurements
+/// and vary, virtual-clock times are simulated and deterministic. Spans
+/// named "pool.*" (scheduling internals whose count legitimately depends
+/// on --threads) are excluded to keep the contract honest.
+std::vector<SpanRollupRow> span_rollup();
+
+/// A currently-open wall-clock span (flight-recorder live dump).
+struct OpenSpanInfo {
+  std::string name;
+  std::uint32_t tid = 0;
+  double elapsed_us = 0.0;
+};
+
+/// Snapshot of the spans open right now, oldest first. Only populated while
+/// tracing is enabled (spans arm on construction).
+std::vector<OpenSpanInfo> open_spans();
 
 /// Serialize to `path` (logs an error and returns false on I/O failure).
 bool write_trace(const std::string& path);

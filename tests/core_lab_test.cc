@@ -254,5 +254,38 @@ TEST(LabMeasure, CorruptArchivesFallBackToExactReexecution) {
   expect_records_match_oracle(m.records, oracle);
 }
 
+TEST(CheckpointPrune, RemovesOnlyStaleSchemaDirs) {
+  std::ostringstream sink;
+  obs::set_log_sink(&sink);
+  ScratchDir dir;
+  namespace fs = std::filesystem;
+  const fs::path root(dir.c_str());
+  const std::string current =
+      "grep_sp-Google-bbbb-v" + std::to_string(kLabCacheSchema);
+  fs::create_directories(root / "grep_sp-Google-aaaa-v4");  // stale schema
+  fs::create_directories(root / current);                   // current schema
+  fs::create_directories(root / "notes");                   // no -v suffix
+  fs::create_directories(root / "thing-vx4");               // non-digit suffix
+  { std::ofstream(root / "file-v4") << "not a dir"; }       // regular file
+
+  const std::uint64_t pruned0 = counter_value("ckpt.pruned");
+  EXPECT_EQ(prune_stale_checkpoint_dirs(root.string()), 1u);
+  EXPECT_FALSE(fs::exists(root / "grep_sp-Google-aaaa-v4"));
+  EXPECT_TRUE(fs::exists(root / current));
+  EXPECT_TRUE(fs::exists(root / "notes"));
+  EXPECT_TRUE(fs::exists(root / "thing-vx4"));
+  EXPECT_TRUE(fs::exists(root / "file-v4"));
+  EXPECT_EQ(counter_value("ckpt.pruned") - pruned0, 1u);
+  // The sweep announces what it removed.
+  EXPECT_NE(sink.str().find("pruned 1 stale checkpoint dir"),
+            std::string::npos);
+
+  // A second sweep and a missing root are clean no-ops.
+  EXPECT_EQ(prune_stale_checkpoint_dirs(root.string()), 0u);
+  EXPECT_EQ(prune_stale_checkpoint_dirs((root / "missing").string()), 0u);
+  EXPECT_EQ(counter_value("ckpt.pruned") - pruned0, 1u);
+  obs::set_log_sink(nullptr);
+}
+
 }  // namespace
 }  // namespace simprof::core

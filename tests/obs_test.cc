@@ -4,20 +4,29 @@
 // the pipeline's results are bit-identical with tracing on vs off.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/lab.h"
 #include "core/phase.h"
 #include "core/sampling.h"
+#include "obs/json.h"
 #include "obs/obs.h"
+#include "support/thread_pool.h"
 #include "test_util.h"
 
 namespace simprof::obs {
@@ -567,6 +576,597 @@ TEST(LabProvenanceTest, CacheHitAndMissRecordedInMetricsAndRun) {
     EXPECT_EQ(a.methods, b.methods);
     EXPECT_EQ(a.counts, b.counts);
   }
+}
+
+// ---------------------------------------------------------------------------
+// QuantileHistogram: bucket edges, exactness guarantees, and the merge
+// determinism contract (bit-identical for any thread count / interleaving).
+
+std::uint64_t dbits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(QuantileHistogramTest, EmptyReportsZeros) {
+  QuantileHistogram& h = metrics().quantile_histogram("test.qh_empty");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.nonfinite(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(QuantileHistogramTest, SingleSampleReportsItselfExactly) {
+  QuantileHistogram& h = metrics().quantile_histogram("test.qh_single");
+  h.observe(3.7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.7);
+  EXPECT_DOUBLE_EQ(h.max(), 3.7);
+  // The bucket upper bound is clamped into [min, max], so every quantile of
+  // a one-sample histogram is the sample itself.
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 3.7) << "q=" << q;
+  }
+}
+
+TEST(QuantileHistogramTest, BucketIndexEdges) {
+  using QH = QuantileHistogram;
+  // ≤ 0 and below-range values land in the underflow bucket.
+  EXPECT_EQ(QH::bucket_index(0.0), 0u);
+  EXPECT_EQ(QH::bucket_index(-1.0), 0u);
+  EXPECT_EQ(QH::bucket_index(std::ldexp(1.0, QH::kMinExp - 1)), 0u);
+  // The range opens at 2^kMinExp (bucket 1) and overflows at 2^kMaxExp.
+  EXPECT_EQ(QH::bucket_index(std::ldexp(1.0, QH::kMinExp)), 1u);
+  EXPECT_EQ(QH::bucket_index(std::ldexp(1.0, QH::kMaxExp)), QH::kBuckets - 1);
+  EXPECT_EQ(QH::bucket_index(std::numeric_limits<double>::infinity()),
+            QH::kBuckets - 1);
+  EXPECT_EQ(
+      QH::bucket_index(std::nextafter(std::ldexp(1.0, QH::kMaxExp), 0.0)),
+      QH::kBuckets - 2);
+
+  // Sandwich invariant over the log-linear range: every value lies inside
+  // its bucket's [lower, upper) and the index is monotone in the value.
+  std::size_t prev = 0;
+  for (const double v :
+       {1e-5, 0.001, 0.5, 1.0, 1.0625, 3.7, 64.0, 1e6, 1e12}) {
+    const std::size_t idx = QH::bucket_index(v);
+    ASSERT_GT(idx, 0u) << v;
+    ASSERT_LT(idx, QH::kBuckets - 1) << v;
+    EXPECT_LT(v, QH::bucket_upper_bound(idx)) << v;
+    EXPECT_GE(v, QH::bucket_upper_bound(idx - 1)) << v;
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(QuantileHistogramTest, QuantileWithinRelativeBucketResolution) {
+  QuantileHistogram& h = metrics().quantile_histogram("test.qh_resolution");
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // Nearest-rank reports the rank-th sample's bucket upper bound, so the
+  // estimate overshoots the exact quantile by at most one sub-bucket.
+  const std::pair<double, double> cases[] = {
+      {0.5, 500.0}, {0.9, 900.0}, {0.99, 990.0}};
+  for (const auto& [q, exact] : cases) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LE((est - exact) / exact,
+              1.0 / QuantileHistogram::kSubBuckets + 1e-9)
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);  // p100 clamps to the true max
+}
+
+TEST(QuantileHistogramTest, NanIsCountedNotBucketed) {
+  QuantileHistogram& h = metrics().quantile_histogram("test.qh_nan");
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.nonfinite(), 2u);
+  EXPECT_EQ(h.count(), 0u);
+  h.observe(2.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+/// The shared observation multiset for the merge-determinism test:
+/// deterministic values spanning ~30 octaves with repeats.
+double qh_sample_value(std::size_t i) {
+  return std::ldexp(1.0 + static_cast<double>(i % 1000) / 1024.0,
+                    static_cast<int>(i % 30) - 10);
+}
+
+TEST(QuantileHistogramTest, MergeDeterministicAcrossThreadCountsAndOrders) {
+  constexpr std::size_t kN = 48'000;
+  // Reference: one thread, ascending observation order.
+  QuantileHistogram& ref = metrics().quantile_histogram("test.qh_merge_ref");
+  for (std::size_t i = 0; i < kN; ++i) ref.observe(qh_sample_value(i));
+  const auto ref_counts = ref.bucket_counts();
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    QuantileHistogram& h = metrics().quantile_histogram(
+        "test.qh_merge_t" + std::to_string(threads));
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) {
+      // Interleaved slices land on different shards per run; odd workers
+      // walk their slice backwards so the interleaving differs from the
+      // reference in every way the merge must be insensitive to.
+      pool.emplace_back([&h, t, threads] {
+        if (t % 2 == 0) {
+          for (std::size_t i = t; i < kN; i += threads) {
+            h.observe(qh_sample_value(i));
+          }
+        } else {
+          std::size_t i = t + threads * ((kN - 1 - t) / threads);
+          while (true) {
+            h.observe(qh_sample_value(i));
+            if (i == t) break;
+            i -= threads;
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    EXPECT_EQ(h.bucket_counts(), ref_counts) << threads << " threads";
+    EXPECT_EQ(h.count(), ref.count());
+    // min/max and every quantile are bit-identical, not merely close.
+    EXPECT_EQ(dbits(h.min()), dbits(ref.min()));
+    EXPECT_EQ(dbits(h.max()), dbits(ref.max()));
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(dbits(h.quantile(q)), dbits(ref.quantile(q)))
+          << threads << " threads, q=" << q;
+    }
+  }
+}
+
+TEST(MetricsTest, QuantileHistogramInJsonSnapshot) {
+  metrics().quantile_histogram("test.qh_json").observe(5.0);
+  const std::string json = metrics().to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"quantile_histograms\""), std::string::npos);
+  EXPECT_NE(json.find("test.qh_json"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission: non-finite accounting and byte-level escaping.
+
+TEST(JsonTest, NonFiniteNumbersCountedAndEmittedAsZero) {
+  LogGuard guard;  // the one-shot warn line goes to the sink, not stderr
+  std::ostringstream sink;
+  set_log_sink(&sink);
+  Counter& c = metrics().counter("obs.json_nonfinite");
+  const std::uint64_t before = c.value();
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(c.value() - before, 3u);
+  EXPECT_EQ(json_number(2.5), "2.5");
+  EXPECT_EQ(c.value() - before, 3u);  // finite values don't count
+}
+
+TEST(JsonTest, QuoteEscapesControlBytesAndPassesHighBytesThrough) {
+  EXPECT_EQ(json_quote("a\"b\\c\n\t\r"), "\"a\\\"b\\\\c\\n\\t\\r\"");
+  EXPECT_EQ(json_quote(std::string_view("\x01\x02\x1f", 3)),
+            "\"\\u0001\\u0002\\u001f\"");
+  // UTF-8 multi-byte sequences (bytes ≥ 0x80) pass through byte-for-byte,
+  // and DEL (0x7f) is legal unescaped JSON.
+  EXPECT_EQ(json_quote("caf\xc3\xa9 \xe2\x9c\x93"),
+            "\"caf\xc3\xa9 \xe2\x9c\x93\"");
+  EXPECT_EQ(json_quote("\x7f"), "\"\x7f\"");
+  // An embedded NUL is escaped, not truncated.
+  EXPECT_EQ(json_quote(std::string_view("a\0b", 3)), "\"a\\u0000b\"");
+  EXPECT_TRUE(json_well_formed(json_quote(std::string_view("\x00\x1b\xff", 3))));
+}
+
+// ---------------------------------------------------------------------------
+// Span rollup: self/inclusive aggregation and the thread-count contract.
+
+TEST(SpanRollupTest, SelfTimeCountsAndPoolExclusion) {
+  TraceGuard guard;
+  start_tracing();
+  // Virtual spans make the arithmetic exact: µs = cycles / 2000 at 2 GHz.
+  trace_virtual_span("stage", 0, 8'000, 1);          // 4 µs, nests the task
+  trace_virtual_span("stage/task", 2'000, 6'000, 1); // 2 µs inside span 1
+  trace_virtual_span("stage", 10'000, 14'000, 1);    // 2 µs, leaf
+  trace_virtual_span("pool.parallel_for", 0, 2'000, 2);  // must be excluded
+  stop_tracing();
+
+  const auto rows = span_rollup();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "stage");
+  EXPECT_TRUE(rows[0].virtual_timeline);
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].total_us, 6.0);
+  EXPECT_DOUBLE_EQ(rows[0].self_us, 4.0);  // 6 µs minus the nested 2 µs
+  EXPECT_DOUBLE_EQ(rows[0].max_us, 4.0);
+  EXPECT_EQ(rows[1].name, "stage/task");
+  EXPECT_EQ(rows[1].count, 1u);
+  EXPECT_DOUBLE_EQ(rows[1].total_us, 2.0);
+  EXPECT_DOUBLE_EQ(rows[1].self_us, 2.0);
+}
+
+TEST(SpanRollupTest, NameCountIdenticalAcrossThreadCounts) {
+  LogGuard log_guard;
+  std::ostringstream sink;
+  set_log_sink(&sink);
+  const auto profile = bit_identity_profile();
+  const std::size_t saved = support::default_thread_count();
+
+  const auto collect = [&profile](std::size_t threads) {
+    support::set_default_thread_count(threads);
+    TraceGuard guard;
+    start_tracing();
+    const auto model = core::form_phases(profile);
+    core::simprof_sample(profile, model, 25, 7);
+    stop_tracing();
+    std::vector<std::tuple<bool, std::string, std::uint64_t>> out;
+    for (const auto& row : span_rollup()) {
+      out.emplace_back(row.virtual_timeline, row.name, row.count);
+    }
+    return out;
+  };
+
+  const auto serial = collect(1);
+  const auto parallel4 = collect(4);
+  support::set_default_thread_count(saved);
+
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel4);
+  // Scheduling internals are excluded from the rollup by contract.
+  for (const auto& [virt, name, count] : parallel4) {
+    EXPECT_NE(name.rfind("pool.", 0), 0u) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run ledger: manifest round-trip through the report parser.
+
+/// Resets the process-global run ledger on scope exit.
+struct LedgerGuard {
+  LedgerGuard() { ledger().reset(); }
+  ~LedgerGuard() { ledger().reset(); }
+};
+
+TEST(RunLedgerTest, ManifestRoundTripsThroughParser) {
+  LedgerGuard guard;
+  ledger().begin("simprof-test", "unit", {"--flag", "1"});
+  ledger().set_config("seed", "42");
+  ledger().set_config("workload", "grep_sp");
+  ledger().set_quality("silhouette", 0.625);
+  ledger().set_schema("cache", core::kLabCacheSchema);
+  ledger().set_exit_code(3);
+
+  const std::string doc = ledger().to_json();
+  EXPECT_TRUE(json_well_formed(doc)) << doc;
+  const auto parsed = parse_json(doc);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->string_or("schema", ""), "simprof.manifest/1");
+  EXPECT_EQ(parsed->string_or("tool", ""), "simprof-test");
+  EXPECT_EQ(parsed->string_or("verb", ""), "unit");
+  EXPECT_DOUBLE_EQ(parsed->number_or("exit_code", -1.0), 3.0);
+  EXPECT_GE(parsed->number_or("duration_ms", -1.0), 0.0);
+
+  const JsonValue* args = parsed->find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_EQ(args->as_array().size(), 2u);
+  EXPECT_EQ(args->as_array()[0].as_string(), "--flag");
+
+  const JsonValue* build = parsed->find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->string_or("git_sha", "").empty());
+  EXPECT_FALSE(build->string_or("build_type", "").empty());
+  EXPECT_DOUBLE_EQ(build->number_or("cache_schema", 0.0),
+                   static_cast<double>(core::kLabCacheSchema));
+
+  const JsonValue* config = parsed->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->string_or("seed", ""), "42");
+  EXPECT_EQ(config->string_or("workload", ""), "grep_sp");
+
+  const JsonValue* quality = parsed->find("quality");
+  ASSERT_NE(quality, nullptr);
+  EXPECT_DOUBLE_EQ(quality->number_or("silhouette", 0.0), 0.625);
+
+  // The full metrics snapshot and the rollup ride along.
+  const JsonValue* metrics_obj = parsed->find("metrics");
+  ASSERT_NE(metrics_obj, nullptr);
+  EXPECT_NE(metrics_obj->find("counters"), nullptr);
+  const JsonValue* rollup = parsed->find("span_rollup");
+  ASSERT_NE(rollup, nullptr);
+  EXPECT_EQ(rollup->type(), JsonValue::Type::kArray);
+  const JsonValue* ckpt = parsed->find("checkpoint");
+  ASSERT_NE(ckpt, nullptr);
+  EXPECT_NE(ckpt->find("cold_fallbacks"), nullptr);
+  EXPECT_NE(ckpt->find("pruned_dirs"), nullptr);
+}
+
+TEST(RunLedgerTest, WriteHonorsOutputPathAndDisable) {
+  LogGuard log_guard;
+  std::ostringstream sink;
+  set_log_sink(&sink);
+  LedgerGuard guard;
+  ScratchDir dir;
+
+  ledger().begin("simprof-test", "unit", {});
+  const std::string path = std::string(dir.c_str()) + "/nested/m.json";
+  ledger().set_output_path(path);
+  EXPECT_TRUE(ledger().enabled());
+  ASSERT_TRUE(ledger().write());  // creates the parent directory
+  const auto parsed = load_json_file(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->string_or("schema", ""), "simprof.manifest/1");
+
+  ledger().reset();
+  ledger().begin("simprof-test", "unit", {});
+  ledger().disable();
+  EXPECT_FALSE(ledger().enabled());
+  EXPECT_FALSE(ledger().write());
+}
+
+// ---------------------------------------------------------------------------
+// The report JSON parser.
+
+TEST(JsonParserTest, ParsesScalarsStringsAndNesting) {
+  const auto v = parse_json(
+      R"({"a": [1, -2.5e3, true, null], "s": "hA\n", "o": {"k": "v"}})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 4u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), -2500.0);
+  EXPECT_TRUE(a->as_array()[2].as_bool());
+  EXPECT_TRUE(a->as_array()[3].is_null());
+  EXPECT_EQ(v->string_or("s", ""), "hA\n");
+  const JsonValue* o = v->find("o");
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->string_or("k", ""), "v");
+  EXPECT_DOUBLE_EQ(v->number_or("missing", 7.5), 7.5);
+  EXPECT_EQ(v->string_or("missing", "fb"), "fb");
+  EXPECT_EQ(v->find("missing"), nullptr);
+
+  // \uXXXX escapes decode to UTF-8 bytes; raw UTF-8 passes through.
+  const auto unicode = parse_json(R"(["caf\u00e9", "café"])");
+  ASSERT_TRUE(unicode.has_value());
+  EXPECT_EQ(unicode->as_array()[0].as_string(), "caf\xc3\xa9");
+  EXPECT_EQ(unicode->as_array()[1].as_string(), "caf\xc3\xa9");
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_json(""));
+  EXPECT_FALSE(parse_json("{\"a\": }"));
+  EXPECT_FALSE(parse_json("[1, 2] trailing"));
+  EXPECT_FALSE(parse_json("\"unterminated"));
+  EXPECT_FALSE(parse_json("{\"a\" 1}"));
+  EXPECT_FALSE(parse_json("{\"a\": 1,}"));
+  // The depth cap rejects pathological nesting instead of recursing off
+  // the stack; sane nesting is fine.
+  EXPECT_FALSE(parse_json(std::string(80, '[') + std::string(80, ']')));
+  EXPECT_TRUE(parse_json(std::string(40, '[') + std::string(40, ']')));
+}
+
+// ---------------------------------------------------------------------------
+// Manifest diffing and regression gating.
+
+/// A minimal manifest document with the fields the differ gates on.
+std::string manifest_fixture(double started_ms, double duration_ms,
+                             double silhouette = 0.8,
+                             double err_frac = 0.02, double phase_count = 4,
+                             double cold_fallbacks = 0, double nonfinite = 0,
+                             double p50 = 100.0, double p99 = 200.0,
+                             double mystery = 1.0) {
+  std::ostringstream os;
+  os << R"({"schema": "simprof.manifest/1", "verb": "profile", )"
+     << R"("started_unix_ms": )" << started_ms << R"(, "duration_ms": )"
+     << duration_ms << R"(, "exit_code": 0, )"
+     << R"("build": {"git_sha": "abc123def456"}, )"
+     << R"("quality": {"silhouette": )" << silhouette
+     << R"(, "sampling_error_frac": )" << err_frac << R"(, "phase_count": )"
+     << phase_count << R"(, "mystery_metric": )" << mystery
+     << R"(}, "checkpoint": {"cold_fallbacks": )" << cold_fallbacks
+     << R"(}, "metrics": {"counters": {"obs.json_nonfinite": )" << nonfinite
+     << R"(}, "quantile_histograms": {"lab.run_ms": {"p50": )" << p50
+     << R"(, "p99": )" << p99 << "}}}}";
+  return os.str();
+}
+
+JsonValue parsed_fixture(const std::string& text) {
+  auto v = parse_json(text);
+  EXPECT_TRUE(v.has_value()) << text;
+  return v ? *v : JsonValue{};
+}
+
+bool has_regression(const RunReport& r, std::string_view metric) {
+  for (const ReportFinding& f : r.findings) {
+    if (f.kind == ReportFinding::Kind::kRegression && f.metric == metric) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ReportDiffTest, IdenticalManifestsProduceNoFindings) {
+  const JsonValue base = parsed_fixture(manifest_fixture(1000, 100));
+  const JsonValue cur = parsed_fixture(manifest_fixture(2000, 100));
+  const RunReport r = diff_manifests(base, cur, {}, "base", "cur");
+  EXPECT_EQ(r.regressions(), 0u);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_FALSE(r.to_markdown().empty());
+  EXPECT_TRUE(json_well_formed(r.to_json())) << r.to_json();
+}
+
+TEST(ReportDiffTest, LatencyGateRespectsRelativeAndAbsoluteFloors) {
+  const JsonValue base = parsed_fixture(manifest_fixture(1000, 100));
+
+  // +100% and +100 ms: regression.
+  RunReport r = diff_manifests(
+      base, parsed_fixture(manifest_fixture(2000, 200)), {}, "b", "c");
+  EXPECT_EQ(r.regressions(), 1u);
+  EXPECT_TRUE(has_regression(r, "duration_ms"));
+  EXPECT_NE(r.to_markdown().find("duration_ms"), std::string::npos);
+
+  // +4 ms is under the 5 ms absolute floor.
+  r = diff_manifests(base, parsed_fixture(manifest_fixture(2000, 104)), {},
+                     "b", "c");
+  EXPECT_EQ(r.regressions(), 0u);
+
+  // A micro-run doubling (2 → 4 ms) stays under the floor too.
+  r = diff_manifests(parsed_fixture(manifest_fixture(1000, 2)),
+                     parsed_fixture(manifest_fixture(2000, 4)), {}, "b", "c");
+  EXPECT_EQ(r.regressions(), 0u);
+
+  // A big drop is reported as an improvement, not a regression.
+  r = diff_manifests(base, parsed_fixture(manifest_fixture(2000, 40)), {},
+                     "b", "c");
+  EXPECT_EQ(r.regressions(), 0u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, ReportFinding::Kind::kImprovement);
+}
+
+TEST(ReportDiffTest, QualityGateIsDirectionAware) {
+  const JsonValue base = parsed_fixture(manifest_fixture(1000, 100));
+
+  // silhouette: higher is better, -25% is a regression.
+  RunReport r = diff_manifests(
+      base, parsed_fixture(manifest_fixture(2000, 100, 0.6)), {}, "b", "c");
+  EXPECT_TRUE(has_regression(r, "quality.silhouette"));
+
+  // sampling_error_frac: lower is better, growth is a regression.
+  r = diff_manifests(base,
+                     parsed_fixture(manifest_fixture(2000, 100, 0.8, 0.05)),
+                     {}, "b", "c");
+  EXPECT_TRUE(has_regression(r, "quality.sampling_error_frac"));
+
+  // silhouette improving is an improvement finding, zero regressions.
+  r = diff_manifests(base,
+                     parsed_fixture(manifest_fixture(2000, 100, 0.95)), {},
+                     "b", "c");
+  EXPECT_EQ(r.regressions(), 0u);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings[0].kind, ReportFinding::Kind::kImprovement);
+
+  // A metric with no known gating direction only informs.
+  r = diff_manifests(
+      base,
+      parsed_fixture(manifest_fixture(2000, 100, 0.8, 0.02, 4, 0, 0, 100.0,
+                                      200.0, 9.0)),
+      {}, "b", "c");
+  EXPECT_EQ(r.regressions(), 0u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, ReportFinding::Kind::kInfo);
+  EXPECT_EQ(r.findings[0].metric, "quality.mystery_metric");
+}
+
+TEST(ReportDiffTest, PhaseDriftAndHealthCountersRegress) {
+  const JsonValue base = parsed_fixture(manifest_fixture(1000, 100));
+  const JsonValue cur = parsed_fixture(
+      manifest_fixture(2000, 100, 0.8, 0.02, /*phase_count=*/5,
+                       /*cold_fallbacks=*/2, /*nonfinite=*/1));
+  const RunReport r = diff_manifests(base, cur, {}, "b", "c");
+  EXPECT_EQ(r.regressions(), 3u);
+  EXPECT_TRUE(has_regression(r, "quality.phase_count"));
+  EXPECT_TRUE(has_regression(r, "checkpoint.cold_fallbacks"));
+  EXPECT_TRUE(has_regression(r, "obs.json_nonfinite"));
+  // Regressions sort ahead of everything else in the findings list.
+  EXPECT_EQ(r.findings[0].kind, ReportFinding::Kind::kRegression);
+}
+
+TEST(ReportDiffTest, QuantileHistogramPercentilesAreGated) {
+  const JsonValue base = parsed_fixture(manifest_fixture(1000, 100));
+  // p50 doubles (regression); p99 +5% sits inside the noise floor.
+  const JsonValue cur = parsed_fixture(manifest_fixture(
+      2000, 100, 0.8, 0.02, 4, 0, 0, /*p50=*/200.0, /*p99=*/210.0));
+  const RunReport r = diff_manifests(base, cur, {}, "b", "c");
+  EXPECT_EQ(r.regressions(), 1u);
+  EXPECT_TRUE(has_regression(r, "lab.run_ms.p50"));
+}
+
+TEST(ReportDirectoryTest, GatesNewestAgainstPrevious) {
+  LogGuard log_guard;
+  std::ostringstream sink;
+  set_log_sink(&sink);
+  ScratchDir dir;
+  std::filesystem::create_directories(dir.c_str());
+  const auto put = [&dir](const char* name, const std::string& body) {
+    std::ofstream(std::string(dir.c_str()) + "/" + name) << body;
+  };
+  put("a.json", manifest_fixture(1000, 100));
+  put("b.json", manifest_fixture(2000, 100));
+  put("c.json", manifest_fixture(3000, 400));  // regresses vs b.json
+  put("junk.json", "{not json");               // ignored: unparseable
+  put("other.json", R"({"schema": "other/1"})");  // ignored: wrong schema
+
+  const auto report = report_directory(dir.c_str(), {});
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->manifest_count, 3u);
+  EXPECT_GE(report->gate.regressions(), 1u);
+  EXPECT_EQ(report->gate.base_label, "b.json");
+  EXPECT_EQ(report->gate.current_label, "c.json");
+  EXPECT_NE(report->series_md.find("3 manifests"), std::string::npos);
+  EXPECT_NE(report->series_md.find("a.json"), std::string::npos);
+
+  // Fewer than two manifests: no report.
+  const std::string lonely = std::string(dir.c_str()) + "/lonely";
+  std::filesystem::create_directories(lonely);
+  std::ofstream(lonely + "/only.json") << manifest_fixture(1000, 100);
+  EXPECT_FALSE(report_directory(lonely, {}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat / flight recorder.
+
+TEST(HeartbeatTest, FlightRecordJsonContainsOpenSpans) {
+  TraceGuard guard;
+  start_tracing();
+  ObsSpan span("live_span");
+  const std::string doc = flight_record_json();
+  EXPECT_TRUE(json_well_formed(doc)) << doc;
+  EXPECT_NE(doc.find("simprof.flightrec/1"), std::string::npos);
+  EXPECT_NE(doc.find("live_span"), std::string::npos);
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+}
+
+TEST(HeartbeatTest, ThreadServesFlightRecordsAndBeats) {
+  LogGuard log_guard;
+  std::ostringstream sink;
+  set_log_sink(&sink);
+  set_log_level(LogLevel::kInfo);
+
+  ScratchDir dir;
+  std::filesystem::create_directories(dir.c_str());
+  const std::string path = std::string(dir.c_str()) + "/flightrec.json";
+
+  ASSERT_FALSE(heartbeat_running());
+  HeartbeatConfig cfg;
+  cfg.period_s = 0.01;  // clamped to the 0.1 s internal minimum
+  cfg.flightrec_path = path;
+  cfg.install_sigusr1 = false;  // keep signals out of the test binary
+  start_heartbeat(cfg);
+  EXPECT_TRUE(heartbeat_running());
+  start_heartbeat(cfg);  // no-op when already running
+
+  metrics().counter("progress.units").add(5);
+  request_flight_record();
+  bool written = false;
+  for (int i = 0; i < 100 && !written; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    written = std::filesystem::exists(path);
+  }
+  stop_heartbeat();  // joins, so reading the sink below is race-free
+  EXPECT_FALSE(heartbeat_running());
+  stop_heartbeat();  // safe when stopped
+
+  ASSERT_TRUE(written);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(json_well_formed(buf.str())) << buf.str();
+  EXPECT_NE(buf.str().find("simprof.flightrec/1"), std::string::npos);
+  // At least one progress beat was logged alongside the flight record.
+  EXPECT_NE(sink.str().find("heartbeat:"), std::string::npos);
+  EXPECT_NE(sink.str().find("units/s"), std::string::npos);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 //   simprof measure <workload> [--input NAME] [--scale S] [--seed N]
 //                   [--units LIST | -n N]
 //   simprof verify  [--cases N] [--seed N] [--resamples N] [--skip-lab]
+//   simprof report  <base.json> <new.json> | <manifest-dir>
+//   simprof --version
 //
 // Global flags (any subcommand):
 //   --threads N       worker count for the parallel engines: phase
@@ -29,7 +31,17 @@
 //   --metrics-out F   write a JSON metrics snapshot on exit
 //   --trace-out F     collect Chrome trace events (load in Perfetto /
 //                     chrome://tracing) and write them on exit
+//   --manifest-out F  where the run manifest goes (default:
+//                     $SIMPROF_MANIFEST_DIR or .simprof_manifests/)
+//   --no-manifest     skip the run manifest for this invocation
+//   --heartbeat SECS  log a progress line every SECS seconds; SIGUSR1 dumps
+//                     a live flight record (open spans + metrics)
 //   --help, -h        this help (or per-subcommand usage)
+//
+// Every invocation (unless --no-manifest) writes a schema-versioned run
+// manifest at exit — build sha, config, metrics, span rollup, quality — and
+// `simprof report` diffs two of them (or gates the newest of a directory),
+// exiting non-zero on a latency/quality regression. See DESIGN.md §6g.
 //
 // `profile` runs a Table I workload on the simulated cluster and writes the
 // thread profile; the analysis subcommands operate on saved profiles, so a
@@ -44,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/lab.h"
 #include "core/phase.h"
 #include "core/sampling.h"
@@ -79,6 +92,13 @@ const std::vector<FlagSpec> kGlobalFlags = {
     {"log-level", "LEVEL", "trace|debug|info|warn|error|off (default info)"},
     {"metrics-out", "FILE", "write a JSON metrics snapshot on exit"},
     {"trace-out", "FILE", "write Chrome trace events (Perfetto) on exit"},
+    {"manifest-out", "FILE",
+     "run-manifest path (default $SIMPROF_MANIFEST_DIR or "
+     ".simprof_manifests/)"},
+    {"no-manifest", "", "do not write a run manifest"},
+    {"heartbeat", "SECS",
+     "periodic progress line every SECS seconds; SIGUSR1 writes a live "
+     "flight record"},
     {"help", "", "show this help"},
 };
 
@@ -139,6 +159,18 @@ const std::vector<CommandSpec> kCommands = {
       {"seed", "N", "verification seed (default 1)"},
       {"resamples", "N", "CI-coverage resamples (default 10000)"},
       {"skip-lab", "", "skip the on-disk lab-cache recovery drill"}}},
+    {"report",
+     "<base.json> <new.json> | <manifest-dir>",
+     "diff two run manifests (or gate the newest of a directory) and flag "
+     "latency/quality regressions; exits 1 on a breach",
+     {{"latency-threshold", "FRAC",
+       "relative wall-time growth that fails the gate (default 0.25)"},
+      {"quality-threshold", "FRAC",
+       "relative quality degradation that fails the gate (default 0.10)"},
+      {"min-delta", "MS",
+       "absolute wall-time noise floor in ms (default 5)"},
+      {"md", "FILE", "also write the markdown report to FILE"},
+      {"json", "FILE", "also write the JSON report to FILE"}}},
 };
 
 struct Args {
@@ -180,7 +212,8 @@ void print_usage(std::ostream& os) {
   }
   os << "\nglobal flags:\n";
   for (const auto& f : kGlobalFlags) print_flag(os, f);
-  os << "\nrun `simprof <subcommand> --help` for per-subcommand flags.\n";
+  os << "\nrun `simprof <subcommand> --help` for per-subcommand flags;\n"
+        "`simprof --version` prints build sha + schema versions.\n";
 }
 
 void print_command_usage(std::ostream& os, const CommandSpec& cmd) {
@@ -320,6 +353,10 @@ int cmd_profile(const Args& args) {
   if (!apply_checkpoint_flags(args, cfg)) return 2;
   core::WorkloadLab lab(cfg);
   const std::string input = args.opt("input", "Google");
+  obs::ledger().set_config("workload", workload);
+  obs::ledger().set_config("input", input);
+  obs::ledger().set_config("scale", args.opt("scale", "1.0"));
+  obs::ledger().set_config("seed", args.opt("seed", "42"));
   std::cout << "running " << workload << " (input " << input << ", scale "
             << cfg.scale << ") ...\n";
   auto run = lab.run(workload, input);
@@ -327,6 +364,8 @@ int cmd_profile(const Args& args) {
       args.opt("out", workload + "-" + input + ".sprf");
   std::ofstream os(out, std::ios::binary | std::ios::trunc);
   run.profile.save(os);
+  obs::ledger().set_quality("units", static_cast<double>(run.profile.num_units()));
+  obs::ledger().set_quality("oracle_cpi", run.profile.oracle_cpi());
   std::cout << "wrote " << run.profile.num_units() << " sampling units ("
             << run.profile.num_methods() << " methods) to " << out
             << "\noracle CPI " << Table::num(run.profile.oracle_cpi(), 4)
@@ -338,6 +377,13 @@ int cmd_phases(const Args& args) {
   const auto profile = load_profile(args.positional[0]);
   const auto model = core::form_phases(profile);
   const auto cov = core::cov_summary(profile, model);
+  obs::ledger().set_config("profile", args.positional[0]);
+  obs::ledger().set_quality("phase_count", static_cast<double>(model.k));
+  if (model.k >= 1 && model.k <= model.silhouette_scores.size()) {
+    obs::ledger().set_quality("silhouette",
+                              model.silhouette_scores[model.k - 1]);
+  }
+  obs::ledger().set_quality("cov_weighted", cov.weighted);
   std::cout << profile.num_units() << " units, " << model.k
             << " phases; CoV population " << Table::num(cov.population)
             << ", weighted " << Table::num(cov.weighted) << ", max "
@@ -395,6 +441,16 @@ int cmd_sample(const Args& args) {
     return 2;
   }
 
+  obs::ledger().set_config("profile", args.positional[0]);
+  obs::ledger().set_config("technique", tech);
+  obs::ledger().set_config("n", args.opt("n", "20"));
+  obs::ledger().set_config("seed", args.opt("seed", "1"));
+  obs::ledger().set_quality("sampling_error_frac",
+                            core::relative_error(plan, profile));
+  if (plan.estimated_cpi > 0.0 && plan.ci.margin > 0.0) {
+    obs::ledger().set_quality("ci_rel_width",
+                              plan.ci.margin / plan.estimated_cpi);
+  }
   std::cout << to_string(plan.technique) << " selected "
             << plan.sample_size() << " simulation points\n";
   std::cout << "estimate " << Table::num(plan.estimated_cpi, 4) << " vs oracle "
@@ -461,6 +517,11 @@ int cmd_sensitivity(const Args& args) {
     ptrs.push_back(&runs[i].profile);
   }
   const auto report = core::input_sensitivity_test(model, ptrs, names);
+  obs::ledger().set_config("workload", workload);
+  obs::ledger().set_config("train", train_name);
+  obs::ledger().set_quality("phase_count", static_cast<double>(model.k));
+  obs::ledger().set_quality("sensitive_phases",
+                            static_cast<double>(report.num_sensitive()));
   std::cout << report.num_sensitive() << "/" << model.k
             << " phases input-sensitive; simulation points needed per "
                "reference input: "
@@ -510,6 +571,11 @@ int cmd_measure(const Args& args) {
   }
 
   const auto m = lab.measure_units(workload, input, units);
+  obs::ledger().set_config("workload", workload);
+  obs::ledger().set_config("input", input);
+  obs::ledger().set_config("seed", args.opt("seed", "42"));
+  obs::ledger().set_quality("units_measured",
+                            static_cast<double>(m.records.size()));
   Table t({"unit_id", "instructions", "cycles", "cpi"});
   for (const auto& u : m.records) {
     t.row({std::to_string(u.unit_id), std::to_string(u.counters.instructions),
@@ -572,11 +638,77 @@ int cmd_verify(const Args& args) {
   return 0;
 }
 
+int cmd_report(const Args& args) {
+  obs::ReportThresholds thresholds;
+  try {
+    thresholds.latency_frac =
+        std::stod(args.opt("latency-threshold", "0.25"));
+    thresholds.quality_frac =
+        std::stod(args.opt("quality-threshold", "0.10"));
+    thresholds.latency_min_delta_ms = std::stod(args.opt("min-delta", "5"));
+  } catch (const std::exception&) {
+    std::cerr << "error: report thresholds must be numbers\n";
+    return 2;
+  }
+
+  obs::RunReport report;
+  std::string series_md;
+  if (args.positional.size() == 2) {
+    const auto base = obs::load_json_file(args.positional[0]);
+    const auto cur = obs::load_json_file(args.positional[1]);
+    if (!base || !cur) {
+      std::cerr << "error: cannot load manifests\n";
+      return 2;
+    }
+    report = obs::diff_manifests(*base, *cur, thresholds, args.positional[0],
+                                 args.positional[1]);
+  } else if (args.positional.size() == 1) {
+    const auto dir = obs::report_directory(args.positional[0], thresholds);
+    if (!dir) {
+      std::cerr << "error: need a readable directory with >= 2 manifests\n";
+      return 2;
+    }
+    report = dir->gate;
+    series_md = dir->series_md;
+  } else {
+    std::cerr << "error: `simprof report` takes <base.json> <new.json> or "
+                 "one <manifest-dir>\n";
+    return 2;
+  }
+
+  std::string md = report.to_markdown();
+  if (!series_md.empty()) md += "\n" + series_md;
+  std::cout << md;
+  if (const std::string f = args.opt("md", ""); !f.empty()) {
+    std::ofstream out(f, std::ios::trunc);
+    out << md;
+  }
+  if (const std::string f = args.opt("json", ""); !f.empty()) {
+    std::ofstream out(f, std::ios::trunc);
+    out << report.to_json();
+  }
+  obs::ledger().set_quality("regressions",
+                            static_cast<double>(report.regressions()));
+  return report.regressions() > 0 ? 1 : 0;
+}
+
+void print_version() {
+  const obs::BuildInfo build = obs::build_info();
+  std::cout << "simprof " << build.git_sha << " (" << build.build_type
+            << ")\n"
+            << "  cache schema      v" << core::kLabCacheSchema << "\n"
+            << "  checkpoint schema v" << core::kCheckpointVersion << "\n"
+            << "  manifest schema   simprof.manifest/"
+            << obs::kManifestSchemaVersion << "\n";
+}
+
 /// Applies the observability flags at startup and flushes the requested
-/// outputs on destruction (normal exit and error paths alike).
+/// outputs on destruction (normal exit and error paths alike): trace,
+/// metrics snapshot, and the run manifest with the final exit code.
 class ObsFlags {
  public:
-  bool apply(const Args& args) {
+  bool apply(const Args& args, const std::string& verb, int argc,
+             char** argv) {
     if (const std::string l = args.opt("log-level", ""); !l.empty()) {
       const auto level = obs::parse_log_level(l);
       if (!level) {
@@ -589,13 +721,46 @@ class ObsFlags {
     }
     metrics_out_ = args.opt("metrics-out", "");
     trace_out_ = args.opt("trace-out", "");
-    if (!trace_out_.empty()) obs::start_tracing();
+
+    std::vector<std::string> raw_args(argv + 2, argv + argc);
+    obs::ledger().begin("simprof", verb, std::move(raw_args));
+    obs::ledger().set_schema("cache", core::kLabCacheSchema);
+    obs::ledger().set_schema("checkpoint", core::kCheckpointVersion);
+    if (args.has("no-manifest")) {
+      obs::ledger().disable();
+    } else if (const std::string m = args.opt("manifest-out", "");
+               !m.empty()) {
+      obs::ledger().set_output_path(m);
+    }
+
+    // Tracing feeds both --trace-out and the manifest's span rollup, so a
+    // manifest-emitting run always collects spans (observation only — it
+    // cannot perturb results; see the determinism contract in obs/trace.h).
+    if (!trace_out_.empty() || obs::ledger().enabled()) {
+      obs::start_tracing();
+    }
+
+    if (const std::string hb = args.opt("heartbeat", ""); !hb.empty()) {
+      obs::HeartbeatConfig config;
+      try {
+        config.period_s = std::stod(hb);
+      } catch (const std::exception&) {
+        std::cerr << "error: --heartbeat expects seconds, got '" << hb
+                  << "'\n";
+        return false;
+      }
+      obs::start_heartbeat(config);
+      heartbeat_ = true;
+    }
     return true;
   }
 
+  void set_exit_code(int code) { obs::ledger().set_exit_code(code); }
+
   ~ObsFlags() {
+    if (heartbeat_) obs::stop_heartbeat();
+    if (obs::trace_enabled()) obs::stop_tracing();
     if (!trace_out_.empty()) {
-      obs::stop_tracing();
       obs::write_trace(trace_out_);
       std::cerr << "wrote trace to " << trace_out_
                 << " (load in Perfetto or chrome://tracing)\n";
@@ -604,11 +769,13 @@ class ObsFlags {
       obs::metrics().write_json(metrics_out_);
       std::cerr << "wrote metrics to " << metrics_out_ << '\n';
     }
+    obs::ledger().write();
   }
 
  private:
   std::string metrics_out_;
   std::string trace_out_;
+  bool heartbeat_ = false;
 };
 
 }  // namespace
@@ -621,6 +788,10 @@ int main(int argc, char** argv) {
   const std::string cmd_name = argv[1];
   if (cmd_name == "--help" || cmd_name == "-h" || cmd_name == "help") {
     print_usage(std::cout);
+    return 0;
+  }
+  if (cmd_name == "--version" || cmd_name == "-V" || cmd_name == "version") {
+    print_version();
     return 0;
   }
   const CommandSpec* cmd = find_command(cmd_name);
@@ -645,7 +816,8 @@ int main(int argc, char** argv) {
   }
 
   ObsFlags obs_flags;
-  if (!obs_flags.apply(args)) return 2;
+  if (!obs_flags.apply(args, cmd->name, argc, argv)) return 2;
+  int rc = 2;
   try {
     // Global: --threads N caps the phase-formation thread pool for every
     // subcommand. Output is bit-identical regardless of the value.
@@ -653,22 +825,27 @@ int main(int argc, char** argv) {
       try {
         support::set_default_thread_count(std::stoull(t));
       } catch (const std::exception&) {
+        obs_flags.set_exit_code(2);
         std::cerr << "error: --threads expects a non-negative integer, got '"
                   << t << "'\n";
         return 2;
       }
     }
-    if (cmd->name == "list") return cmd_list();
-    if (cmd->name == "profile") return cmd_profile(args);
-    if (cmd->name == "phases") return cmd_phases(args);
-    if (cmd->name == "sample") return cmd_sample(args);
-    if (cmd->name == "size") return cmd_size(args);
-    if (cmd->name == "sensitivity") return cmd_sensitivity(args);
-    if (cmd->name == "measure") return cmd_measure(args);
-    if (cmd->name == "verify") return cmd_verify(args);
-    return 2;  // unreachable: find_command validated the name
+    if (cmd->name == "list") rc = cmd_list();
+    else if (cmd->name == "profile") rc = cmd_profile(args);
+    else if (cmd->name == "phases") rc = cmd_phases(args);
+    else if (cmd->name == "sample") rc = cmd_sample(args);
+    else if (cmd->name == "size") rc = cmd_size(args);
+    else if (cmd->name == "sensitivity") rc = cmd_sensitivity(args);
+    else if (cmd->name == "measure") rc = cmd_measure(args);
+    else if (cmd->name == "verify") rc = cmd_verify(args);
+    else if (cmd->name == "report") rc = cmd_report(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    rc = 1;
   }
+  // The manifest is written by obs_flags' destructor after this return, so
+  // record the exit code first.
+  obs_flags.set_exit_code(rc);
+  return rc;
 }
