@@ -27,37 +27,41 @@ stats::Matrix build_feature_matrix(const ThreadProfile& profile) {
   return m;
 }
 
+void unit_feature_entries(const UnitRecord& rec, std::size_t num_methods,
+                          std::vector<std::uint32_t>& cols,
+                          std::vector<double>& vals) {
+  std::vector<std::pair<std::uint32_t, double>> entries;
+  entries.reserve(rec.methods.size());
+  for (std::size_t i = 0; i < rec.methods.size(); ++i) {
+    SIMPROF_EXPECTS(rec.methods[i] < num_methods,
+                    "method id outside profile table");
+    entries.emplace_back(rec.methods[i], static_cast<double>(rec.counts[i]));
+  }
+  // Collected records are sorted already; synthetic test profiles may not
+  // be. Stable sort + last-entry-wins matches the dense builder's
+  // assignment semantics exactly.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  cols.clear();
+  vals.clear();
+  for (const auto& [c, v] : entries) {
+    if (!cols.empty() && cols.back() == c) {
+      vals.back() = v;
+    } else {
+      cols.push_back(c);
+      vals.push_back(v);
+    }
+  }
+}
+
 stats::SparseMatrix build_sparse_feature_matrix(const ThreadProfile& profile) {
   stats::SparseMatrix m(profile.num_units(), profile.num_methods());
-  std::vector<std::pair<std::uint32_t, double>> entries;
   std::vector<std::uint32_t> cols;
   std::vector<double> vals;
   for (std::size_t u = 0; u < profile.num_units(); ++u) {
-    const UnitRecord& rec = profile.units[u];
-    entries.clear();
-    for (std::size_t i = 0; i < rec.methods.size(); ++i) {
-      SIMPROF_EXPECTS(rec.methods[i] < profile.num_methods(),
-                      "method id outside profile table");
-      entries.emplace_back(rec.methods[i],
-                           static_cast<double>(rec.counts[i]));
-    }
-    // Collected records are sorted already; synthetic test profiles may not
-    // be. Stable sort + last-entry-wins matches the dense builder's
-    // assignment semantics exactly.
-    std::stable_sort(entries.begin(), entries.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first < b.first;
-                     });
-    cols.clear();
-    vals.clear();
-    for (const auto& [c, v] : entries) {
-      if (!cols.empty() && cols.back() == c) {
-        vals.back() = v;
-      } else {
-        cols.push_back(c);
-        vals.push_back(v);
-      }
-    }
+    unit_feature_entries(profile.units[u], profile.num_methods(), cols, vals);
     m.append_row(cols, vals);
   }
   m.normalize_rows_l1();
@@ -67,16 +71,25 @@ stats::SparseMatrix build_sparse_feature_matrix(const ThreadProfile& profile) {
 PhaseModel form_phases(const ThreadProfile& profile,
                        const PhaseFormationConfig& cfg) {
   SIMPROF_EXPECTS(profile.num_units() > 0, "cannot form phases of nothing");
+  // 1. Vectorize call stacks in CSR form (full method space, row-normalized)
+  // — built once per profile; the dense form only ever materializes for the
+  // selected top-K columns.
+  const stats::SparseMatrix sparse = build_sparse_feature_matrix(profile);
+  return form_phases_from_sparse(profile, sparse, cfg);
+}
+
+PhaseModel form_phases_from_sparse(const ThreadProfile& profile,
+                                   const stats::SparseMatrix& sparse,
+                                   const PhaseFormationConfig& cfg) {
+  SIMPROF_EXPECTS(profile.num_units() > 0, "cannot form phases of nothing");
+  SIMPROF_EXPECTS(sparse.rows() == profile.num_units() &&
+                      sparse.cols() == profile.num_methods(),
+                  "feature matrix shape does not match profile");
   obs::ObsSpan span("phase.form_phases", {{"units", profile.num_units()},
                                           {"methods", profile.num_methods()}});
   static obs::Counter& formations =
       obs::metrics().counter("phase.formations");
   formations.increment();
-
-  // 1. Vectorize call stacks in CSR form (full method space, row-normalized)
-  // — built once per profile; the dense form only ever materializes for the
-  // selected top-K columns.
-  stats::SparseMatrix sparse = build_sparse_feature_matrix(profile);
 
   // 2. Univariate linear-regression feature selection against IPC, straight
   // off the sparse matrix.
@@ -234,9 +247,15 @@ void merge_equivalent_phases(PhaseModel& model, const ThreadProfile& profile,
     if (std::abs(a.mean_cpi - b.mean_cpi) > threshold * mean_ref) {
       return false;
     }
-    const double dev_ref = std::max(a.stddev_cpi, b.stddev_cpi);
+    // Dispersion leg of Eq. 6 on the *trimmed* deviation — the raw σ of a
+    // phase with a handful of outlier units can differ across otherwise
+    // identical strata by far more than `threshold`, which used to keep
+    // performance-equivalent phases apart (and over-stratify the sample).
+    const double dev_a = a.trimmed_stddev_cpi;
+    const double dev_b = b.trimmed_stddev_cpi;
+    const double dev_ref = std::max(dev_a, dev_b);
     if (dev_ref <= 0.05 * mean_ref) return true;  // both effectively tight
-    return std::abs(a.stddev_cpi - b.stddev_cpi) <= threshold * dev_ref;
+    return std::abs(dev_a - dev_b) <= threshold * dev_ref;
   };
 
   for (std::size_t a = 0; a < model.k; ++a) {
@@ -314,6 +333,11 @@ std::vector<jvm::OpKind> classify_phase_types(
   return types;
 }
 
+std::size_t trimmed_tail_count(std::size_t count) {
+  if (count < kTrimFloorUnits) return 0;
+  return std::max<std::size_t>(1, count / 20);
+}
+
 std::vector<PhaseStats> phase_stats_for(const ThreadProfile& profile,
                                         const std::vector<std::size_t>& labels,
                                         std::size_t k) {
@@ -330,12 +354,11 @@ std::vector<PhaseStats> phase_stats_for(const ThreadProfile& profile,
     out[h].count = groups[h].size();
     out[h].mean_cpi = stats::mean(groups[h]);
     out[h].stddev_cpi = stats::sample_stddev(groups[h]);
-    // Trimmed deviation: drop ~5% of units from each tail (at least one per
-    // side once the phase has a handful of units).
+    // Trimmed deviation per the explicit policy in phase.h: zero below
+    // kTrimFloorUnits (fall back to raw σ), at least one per tail above it.
     auto& g = groups[h];
     std::sort(g.begin(), g.end());
-    const std::size_t trim =
-        g.size() >= 8 ? std::max<std::size_t>(1, g.size() / 20) : 0;
+    const std::size_t trim = trimmed_tail_count(g.size());
     if (trim > 0 && g.size() > 2 * trim) {
       out[h].trimmed_stddev_cpi = stats::sample_stddev(
           std::span<const double>(g.data() + trim, g.size() - 2 * trim));

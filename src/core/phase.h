@@ -41,15 +41,32 @@ struct PhaseFormationConfig {
   std::size_t threads = 0;
 };
 
+/// Trimmed-deviation policy for PhaseStats::trimmed_stddev_cpi. The trim
+/// count per tail is explicit and total on the phase size:
+///   n <  kTrimFloorUnits  → 0 (too few units to sacrifice any; the trimmed
+///                             deviation falls back to the raw σ)
+///   n >= kTrimFloorUnits  → max(1, n / 20)  (≈5% per tail, never zero)
+/// The floor guarantees that once a phase has kTrimFloorUnits units, at
+/// least one element per tail is always dropped — without it, every phase
+/// under 20 units trimmed zero elements and the Eq. 6 comparisons silently
+/// degraded to the outlier-dominated raw σ exactly where outliers hurt most.
+inline constexpr std::size_t kTrimFloorUnits = 8;
+
+/// Elements dropped from each tail for a phase of `count` units, per the
+/// policy above.
+std::size_t trimmed_tail_count(std::size_t count);
+
 /// Per-phase CPI statistics (the paper's N_h, μ_h, σ_h, CoV_h).
 struct PhaseStats {
   std::size_t count = 0;     ///< N_h — units in the phase
   double mean_cpi = 0.0;     ///< μ_h
   double stddev_cpi = 0.0;   ///< s_h (sample stddev, Eq. 5)
-  /// 5%-trimmed sample stddev: the Eq. 6 dispersion comparison uses this —
-  /// raw σ is dominated by rare scheduling/migration outliers whose count
-  /// fluctuates run to run, which would make the input-sensitivity test fire
-  /// on noise rather than on input-dependent behaviour.
+  /// Trimmed sample stddev (trimmed_tail_count elements per tail): every
+  /// Eq. 6-style dispersion comparison — the input-sensitivity test AND the
+  /// post-clustering phase merge — uses this, because raw σ is dominated by
+  /// rare scheduling/migration outliers whose count fluctuates run to run,
+  /// which would make those tests fire on noise rather than on genuine
+  /// behaviour differences.
   double trimmed_stddev_cpi = 0.0;
   double cov = 0.0;          ///< s_h / μ_h
   double weight = 0.0;       ///< N_h / N
@@ -85,9 +102,29 @@ stats::Matrix build_feature_matrix(const ThreadProfile& profile);
 /// ~99% zeros). Bitwise equivalent: to_dense() equals build_feature_matrix.
 stats::SparseMatrix build_sparse_feature_matrix(const ThreadProfile& profile);
 
+/// One unit's raw-count CSR row: method-id/count pairs sorted by method id
+/// with duplicate ids collapsed last-entry-wins — exactly the assignment
+/// semantics of the dense builder. Shared by build_sparse_feature_matrix and
+/// the streaming former's per-unit ingest so both paths produce bitwise the
+/// same stored entries. Output lands in `cols`/`vals` (cleared first);
+/// `num_methods` bounds the ids.
+void unit_feature_entries(const UnitRecord& rec, std::size_t num_methods,
+                          std::vector<std::uint32_t>& cols,
+                          std::vector<double>& vals);
+
 /// Fit phases on a profile.
 PhaseModel form_phases(const ThreadProfile& profile,
                        const PhaseFormationConfig& cfg = {});
+
+/// The back half of form_phases, starting from an already-built unit ×
+/// method feature matrix (CSR, L1-row-normalized, full method space —
+/// exactly what build_sparse_feature_matrix returns). form_phases delegates
+/// here; the streaming former calls it directly at each recluster with the
+/// snapshot of its incrementally grown matrix, which is how the streaming
+/// path inherits batch bit-identity for free.
+PhaseModel form_phases_from_sparse(const ThreadProfile& profile,
+                                   const stats::SparseMatrix& features,
+                                   const PhaseFormationConfig& cfg = {});
 
 /// Vectorize one unit into a model's feature space (L1-normalized over the
 /// selected features; methods are matched by name).

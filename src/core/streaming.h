@@ -1,0 +1,155 @@
+// Online streaming phase formation — the live sibling of form_phases.
+//
+// The batch pipeline (phase.h) needs the whole run's profile before it can
+// cluster; a profiling daemon wants phase structure *while the run is still
+// executing*, so selections can start before the last unit lands. The
+// StreamingPhaseFormer accepts sampling units one at a time (or in
+// micro-batches via repeated ingest calls), accumulates their raw
+// method-frequency rows incrementally in the CSR builder, and maintains a
+// live cluster model three ways at once:
+//
+//   * periodic reclusters — full form_phases_from_sparse passes over a
+//     normalized snapshot of the accumulated matrix, on a geometric
+//     schedule (warmup_units, then whenever the population has grown by
+//     recluster_growth×). Each recluster re-runs feature selection AND the
+//     silhouette k-sweep, so k is revisited as the workload reveals itself;
+//   * mini-batch refinement — between reclusters, arriving units nudge the
+//     centers with stats::MiniBatchKMeans (per-center learning rate 1/n_c),
+//     so the model tracks drift at O(d) per unit;
+//   * live classification — every ingested unit is immediately assigned to
+//     its nearest current center and the label recorded, so callers can
+//     stratify/select without waiting for the next recluster.
+//
+// Equivalence contract (enforced by tests/core_streaming_test.cc): with
+// max_retained_units = 0, ingesting a profile's units in order and calling
+// finalize() yields a PhaseModel bit-identical to batch form_phases on that
+// profile — the snapshot the final recluster sees is bitwise the matrix the
+// batch builder would have built (shared unit_feature_entries row
+// construction, same normalization order). Shuffled arrival converges to
+// the same structure within test tolerance. Determinism: ingestion is
+// serial by construction and every parallel stage below it is bit-identical
+// for any thread count, so the same arrival order gives the same model at
+// any `threads` value.
+//
+// Memory bound: per-former state is O(Σ nnz of retained units) for the CSR
+// rows plus O(retained units) bookkeeping. With max_retained_units = n the
+// former evicts the oldest units at each recluster, bounding state to the
+// newest n units (and trading away exact batch equivalence for a sliding
+// window).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/phase.h"
+#include "core/profile.h"
+#include "stats/kmeans.h"
+#include "stats/sparse.h"
+
+namespace simprof::core {
+
+struct StreamingConfig {
+  /// Formation parameters used at every recluster (threads, feature
+  /// selection, choose_k, merge threshold, seed — identical meaning to the
+  /// batch path, which is what makes finalize() comparable to it).
+  PhaseFormationConfig formation;
+  /// Units to accumulate before the first recluster. Below this the former
+  /// has no model and ingest() returns kNoPhase.
+  std::size_t warmup_units = 16;
+  /// Geometric recluster schedule: recluster when the retained population
+  /// reaches growth × its size at the previous recluster. 1.5 means ~2.7
+  /// full passes per doubling — O(log n) reclusters over a run.
+  double recluster_growth = 1.5;
+  /// Units per mini-batch center refinement between reclusters (pending
+  /// units buffer up and flush through MiniBatchKMeans::partial_fit).
+  std::size_t refine_batch = 8;
+  /// Memory bound: retain at most this many newest units (0 = retain all,
+  /// required for exact batch equivalence). Eviction happens at recluster
+  /// boundaries, oldest first.
+  std::size_t max_retained_units = 0;
+};
+
+class StreamingPhaseFormer {
+ public:
+  /// ingest() result before the first recluster: no model, no phase yet.
+  static constexpr std::size_t kNoPhase = static_cast<std::size_t>(-1);
+
+  explicit StreamingPhaseFormer(StreamingConfig cfg = {});
+
+  /// Ingest one sampling unit from `source` (typically the unit that just
+  /// completed in a live run). Method ids are adopted verbatim — the
+  /// internal method table is extended to cover the source's and names must
+  /// agree where they overlap, so in-order full ingestion reconstructs the
+  /// source profile exactly. Returns the unit's live phase label under the
+  /// current centers, or kNoPhase while still warming up.
+  std::size_t ingest(const ThreadProfile& source, std::size_t unit_index);
+
+  /// Ingest a contiguous micro-batch [begin, end) of source units, in
+  /// order. Equivalent to calling ingest() per unit.
+  void ingest_range(const ThreadProfile& source, std::size_t begin,
+                    std::size_t end);
+
+  /// Units ingested over the former's lifetime (eviction does not subtract).
+  std::size_t units_ingested() const { return total_ingested_; }
+  /// Units currently retained (== ingested unless max_retained_units hit).
+  std::size_t units_retained() const { return profile_.num_units(); }
+  std::size_t reclusters() const { return reclusters_; }
+  bool has_model() const { return reclusters_ > 0; }
+
+  /// The latest reclustered model (refined centers live in center_tracker_;
+  /// this is the last full-pass model). Valid once has_model().
+  const PhaseModel& model() const { return model_; }
+
+  /// Live labels of the retained units under the current model: recluster
+  /// labels for units present at the last recluster, nearest-center labels
+  /// for units that arrived since. Index-aligned with profile().units.
+  const std::vector<std::size_t>& live_labels() const { return live_labels_; }
+
+  /// The internal accumulated profile (retained units, adopted method
+  /// table). Feed this plus model() to the samplers for live selections.
+  const ThreadProfile& profile() const { return profile_; }
+
+  /// Invoked after every recluster (model just replaced), e.g. to emit an
+  /// interim sample plan before the run finishes. The reference is `*this`;
+  /// the hook may read model()/profile()/live_labels() but must not ingest.
+  using UpdateHook = std::function<void(const StreamingPhaseFormer&)>;
+  void set_update_hook(UpdateHook hook) { hook_ = std::move(hook); }
+
+  /// Force a full recluster over everything retained and return the final
+  /// model. With max_retained_units = 0 and in-order arrival this is
+  /// bit-identical to form_phases on the source profile. Idempotent: a
+  /// second call with no intervening ingest reclusters the same population.
+  PhaseModel finalize();
+
+ private:
+  void adopt_method_table(const ThreadProfile& source);
+  void recluster();
+  void flush_refinement();
+  std::size_t classify_latest();
+
+  StreamingConfig cfg_;
+  ThreadProfile profile_;        ///< retained units + adopted method table
+  stats::SparseMatrix raw_;      ///< raw-count CSR rows, one per retained unit
+  PhaseModel model_;
+  stats::MiniBatchKMeans center_tracker_;  ///< refined copy of model_.centers
+  /// method id → feature position in model_ feature space (kNone if the
+  /// method was not selected); rebuilt at each recluster.
+  std::vector<std::size_t> feature_of_method_;
+  std::vector<std::size_t> live_labels_;
+  stats::Matrix pending_;        ///< vectorized units awaiting partial_fit
+  std::size_t pending_rows_ = 0;
+  std::size_t total_ingested_ = 0;
+  std::size_t reclusters_ = 0;
+  std::size_t last_recluster_units_ = 0;
+  UpdateHook hook_;
+  std::vector<std::uint32_t> cols_scratch_;
+  std::vector<double> vals_scratch_;
+  /// Last source table adopt_method_table verified, so ingesting a run of
+  /// units from the same (unmodified) profile checks names once, not per
+  /// unit.
+  const void* verified_table_ = nullptr;
+  std::size_t verified_table_size_ = 0;
+};
+
+}  // namespace simprof::core

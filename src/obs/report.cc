@@ -549,9 +549,10 @@ std::string fmt(double v) {
 /// Direction table for quality figures: true → higher is better.
 bool quality_higher_is_better(std::string_view key, bool& known) {
   known = true;
-  if (key == "silhouette") return true;
+  if (key == "silhouette" || key == "stream_silhouette") return true;
   if (key == "sampling_error_frac" || key == "ci_rel_width" ||
-      key == "cov_weighted" || key == "cov") {
+      key == "cov_weighted" || key == "cov" ||
+      key == "stream_batch_phase_delta") {
     return false;
   }
   known = false;

@@ -50,4 +50,36 @@ CovSummary grouped_cov(std::span<const double> values,
 /// Pearson correlation coefficient; 0 when either side is constant.
 double pearson(std::span<const double> xs, std::span<const double> ys);
 
+/// Incremental moment accumulator (Welford's online algorithm) — the
+/// streaming sibling of mean/sample_variance above, used by the streaming
+/// phase former to keep per-phase CPI statistics current between full
+/// reclusters without retaining the observations.
+///
+/// Small-sample conventions match the batch estimators: count < 2 yields
+/// variance/stddev 0, an empty accumulator reports mean/min/max 0. merge()
+/// folds another accumulator in with Chan's parallel update; a fixed fold
+/// order yields a deterministic (though not bitwise batch-identical) result,
+/// which is why the former rebuilds its accumulators from the retained units
+/// at every recluster — the streamed values only bridge the gap in between.
+class RunningMoments {
+ public:
+  void push(double x);
+  void merge(const RunningMoments& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator), 0 when fewer than 2 observations.
+  double sample_variance() const;
+  double sample_stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 }  // namespace simprof::stats

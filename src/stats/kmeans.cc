@@ -184,11 +184,61 @@ std::size_t nearest_center(const Matrix& centers,
   return best_c;
 }
 
+MiniBatchKMeans::MiniBatchKMeans(Matrix centers,
+                                 std::vector<std::uint64_t> counts)
+    : centers_(std::move(centers)), counts_(std::move(counts)) {
+  counts_.resize(centers_.rows(), 1);
+  for (auto& c : counts_) c = std::max<std::uint64_t>(c, 1);
+}
+
+std::vector<std::size_t> MiniBatchKMeans::partial_fit(const Matrix& batch,
+                                                      std::size_t threads) {
+  SIMPROF_EXPECTS(centers_.rows() > 0, "mini-batch k-means with no centers");
+  SIMPROF_EXPECTS(batch.cols() == centers_.cols(),
+                  "batch/center dimension mismatch");
+  const std::size_t n = batch.rows();
+  std::vector<std::size_t> labels(n, 0);
+  if (n == 0) return labels;
+
+  // Assignment against the entry snapshot of the centers (blocked kernel,
+  // deterministic for any thread count).
+  const DistanceTable table(centers_);
+  const std::vector<double> norms = row_squared_norms(batch);
+  std::vector<double> dist2(n, 0.0);
+  support::parallel_for(
+      threads, 0, n, kRowGrain,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        table.nearest(batch, norms, b, e,
+                      std::span<std::size_t>(labels).subspan(b, e - b),
+                      std::span<double>(dist2).subspan(b, e - b));
+      });
+
+  // Serial per-row center update in row order (deterministic): each
+  // assigned row pulls its center by 1/n_c.
+  const std::size_t d = centers_.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = labels[i];
+    ++counts_[c];
+    const double eta = 1.0 / static_cast<double>(counts_[c]);
+    auto dst = centers_.row(c);
+    const auto src = batch.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      dst[j] += eta * (src[j] - dst[j]);
+    }
+  }
+  return labels;
+}
+
 ChooseKResult choose_k(const Matrix& points, Rng& rng,
                        const ChooseKConfig& cfg) {
   SIMPROF_EXPECTS(!points.empty(), "choose_k on empty matrix");
-  const std::size_t max_k =
-      std::min<std::size_t>(cfg.max_k, points.rows());
+  // Clamp the sweep to the population: k > n is undefined for k-means, and
+  // a zero max_k would leave the sweep (and the best-score reduction below)
+  // operating on nothing — both are trivially reachable from early-stream
+  // snapshots and tiny profiles, and both must degrade to a defined sweep
+  // instead of contract-aborting.
+  const std::size_t max_k = std::max<std::size_t>(
+      1, std::min<std::size_t>(cfg.max_k, points.rows()));
   obs::ObsSpan sweep_span(
       "choose_k", {{"points", points.rows()}, {"max_k", max_k}});
   static obs::Counter& sweeps = obs::metrics().counter("choose_k.sweeps");

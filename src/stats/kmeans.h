@@ -48,8 +48,48 @@ KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
 std::size_t nearest_center(const Matrix& centers,
                            std::span<const double> point);
 
+/// Mini-batch k-means (Sculley, WWW'10): incremental center refinement for
+/// the streaming phase former. Centers are seeded from a full Lloyd fit
+/// (the latest recluster) and nudged toward newly arrived points with a
+/// per-center learning rate 1/count, so the model tracks drift between the
+/// expensive re-silhouetting passes without touching retained units.
+///
+/// Determinism: assignment uses the blocked DistanceTable kernel over row
+/// chunks (safe on any thread count — labels are a pure function of the
+/// operands), and the center update walks batch rows serially in row order,
+/// so partial_fit is bit-identical for any `threads` value.
+class MiniBatchKMeans {
+ public:
+  MiniBatchKMeans() = default;
+  /// Seed from an existing clustering. `counts` are the per-center
+  /// assignment counts of that clustering (they set the initial learning
+  /// rates); missing/short counts default to 1 so a fresh center still
+  /// moves. k is centers.rows().
+  explicit MiniBatchKMeans(Matrix centers,
+                           std::vector<std::uint64_t> counts = {});
+
+  std::size_t k() const { return centers_.rows(); }
+  const Matrix& centers() const { return centers_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Assign each row of `batch` to its nearest center, then move each
+  /// center toward its assigned rows: c ← c + (x − c)/n_c per row, with
+  /// n_c incremented first. Returns the per-row labels (computed against
+  /// the centers as they stood at entry, like one Lloyd half-step).
+  std::vector<std::size_t> partial_fit(const Matrix& batch,
+                                       std::size_t threads = 0);
+
+ private:
+  Matrix centers_;
+  std::vector<std::uint64_t> counts_;
+};
+
 struct ChooseKConfig {
-  std::size_t max_k = 20;          ///< paper: k swept from 1 to 20
+  /// Upper bound of the k sweep (paper: k swept from 1 to 20). The sweep is
+  /// clamped to min(max_k, points.rows()) — a profile with fewer units than
+  /// max_k (tiny inputs, early-stream snapshots) sweeps what it has instead
+  /// of contract-aborting — and a zero max_k is clamped up to 1.
+  std::size_t max_k = 20;
   double score_fraction = 0.90;    ///< paper: smallest k within 90% of best
   double k1_baseline_score = 0.45; ///< silhouette stand-in for k = 1 (it is
                                    ///< undefined there); lets single-phase

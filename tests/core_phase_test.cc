@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "core/phase.h"
@@ -163,6 +164,110 @@ TEST(PhaseStatsFor, LabelOutOfRangeThrows) {
   auto p = testing::synthetic_profile({{2, 1.0, 0.0, 1}});
   std::vector<std::size_t> labels{0, 5};
   EXPECT_THROW(phase_stats_for(p, labels, 2), ContractViolation);
+}
+
+TEST(FormPhases, TinyProfilesClampTheKSweep) {
+  // Regression: profiles with fewer units than the default k sweep's max_k
+  // (n = 1, 2 and max_k − 1) must form a defined model, not abort.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                              std::size_t{19}}) {
+    auto p = testing::synthetic_profile({{n, 1.0, 0.05, 1}});
+    const PhaseModel model = form_phases(p);
+    EXPECT_GE(model.k, 1u) << "n=" << n;
+    EXPECT_LE(model.k, n) << "n=" << n;
+    EXPECT_EQ(model.labels.size(), n);
+    EXPECT_EQ(model.phases.size(), model.k);
+    ASSERT_EQ(model.representative_units.size(), model.k);
+    for (std::size_t u : model.representative_units) EXPECT_LT(u, n);
+  }
+}
+
+TEST(TrimmedTailCount, ExplicitPolicy) {
+  // Below the floor: nothing trimmed. At and above: never zero, ≈5%/tail.
+  EXPECT_EQ(trimmed_tail_count(0), 0u);
+  EXPECT_EQ(trimmed_tail_count(kTrimFloorUnits - 1), 0u);
+  EXPECT_EQ(trimmed_tail_count(kTrimFloorUnits), 1u);
+  EXPECT_EQ(trimmed_tail_count(19), 1u);
+  EXPECT_EQ(trimmed_tail_count(20), 1u);
+  EXPECT_EQ(trimmed_tail_count(40), 2u);
+  EXPECT_EQ(trimmed_tail_count(100), 5u);
+}
+
+/// A two-method profile whose unit CPIs are exactly `cpis` — the fixture
+/// for pinning trimmed-deviation and Eq. 6 merge behaviour.
+ThreadProfile profile_from_cpis(const std::vector<double>& cpis) {
+  ThreadProfile p;
+  p.method_names = {"m0", "m1"};
+  p.method_kinds = {jvm::OpKind::kFramework, jvm::OpKind::kMap};
+  for (std::size_t i = 0; i < cpis.size(); ++i) {
+    UnitRecord u;
+    u.unit_id = i;
+    u.counters.instructions = 1'000'000;
+    u.counters.cycles = static_cast<std::uint64_t>(cpis[i] * 1'000'000.0);
+    u.methods = {jvm::MethodId{0}, jvm::MethodId{1}};
+    u.counts = {10, 30};
+    p.units.push_back(std::move(u));
+  }
+  return p;
+}
+
+TEST(PhaseStatsFor, SmallPhaseTrimsAtLeastOnePerTailAtTheFloor) {
+  // Exactly kTrimFloorUnits units, one outlier: the trim must drop one per
+  // tail, so the trimmed deviation collapses to 0 while the raw σ does not.
+  std::vector<double> cpis(kTrimFloorUnits, 1.0);
+  cpis.back() = 2.0;
+  const auto p = profile_from_cpis(cpis);
+  const auto stats =
+      phase_stats_for(p, std::vector<std::size_t>(cpis.size(), 0), 1);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_GT(stats[0].stddev_cpi, 0.1);
+  EXPECT_DOUBLE_EQ(stats[0].trimmed_stddev_cpi, 0.0);
+
+  // One unit below the floor the trim is zero and trimmed == raw exactly.
+  cpis.pop_back();
+  const auto q = profile_from_cpis(cpis);
+  const auto small =
+      phase_stats_for(q, std::vector<std::size_t>(cpis.size(), 0), 1);
+  EXPECT_DOUBLE_EQ(small[0].trimmed_stddev_cpi, small[0].stddev_cpi);
+}
+
+TEST(MergeEquivalentPhases, SmallPhaseOutlierDoesNotBlockEq6Merge) {
+  // Two performance-identical strata of 20 units each; phase 0 carries one
+  // scheduling-outlier unit that inflates its *raw* σ far beyond the 10%
+  // equivalence band. The Eq. 6 comparison runs on the trimmed deviation,
+  // so the phases still merge (the raw comparison used to keep them apart
+  // and over-stratify the sample).
+  std::vector<double> cpis;
+  std::vector<std::size_t> labels;
+  for (std::size_t i = 0; i < 20; ++i) {
+    cpis.push_back(i + 1 == 20 ? 2.0 : 1.0);  // one outlier in phase 0
+    labels.push_back(0);
+  }
+  for (std::size_t i = 0; i < 20; ++i) {
+    cpis.push_back(i % 2 == 0 ? 0.98 : 1.02);
+    labels.push_back(1);
+  }
+  const auto p = profile_from_cpis(cpis);
+
+  PhaseModel model;
+  model.k = 2;
+  model.labels = labels;
+  model.centers = stats::Matrix(2, 1);
+  model.centers.at(0, 0) = 0.0;
+  model.centers.at(1, 0) = 1.0;
+  model.phases = phase_stats_for(p, labels, 2);
+
+  // Precondition: the raw deviations genuinely disagree beyond threshold —
+  // otherwise this fixture would pass under the old buggy comparison too.
+  const double raw0 = model.phases[0].stddev_cpi;
+  const double raw1 = model.phases[1].stddev_cpi;
+  ASSERT_GT(std::abs(raw0 - raw1), 0.10 * std::max(raw0, raw1));
+
+  merge_equivalent_phases(model, p, 0.10);
+  EXPECT_EQ(model.k, 1u);
+  EXPECT_EQ(model.phases.size(), 1u);
+  EXPECT_EQ(model.phases[0].count, 40u);
+  for (std::size_t l : model.labels) EXPECT_EQ(l, 0u);
 }
 
 }  // namespace

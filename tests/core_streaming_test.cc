@@ -1,0 +1,210 @@
+// Streaming-vs-batch equivalence suite for the online phase former: in-order
+// full ingestion is bit-identical to batch form_phases, shuffled arrival
+// converges within tolerance, results are bit-identical across thread
+// counts, and the retention cap bounds memory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/phase.h"
+#include "core/sampling.h"
+#include "core/streaming.h"
+#include "support/assert.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace simprof::core {
+namespace {
+
+void expect_models_bit_identical(const PhaseModel& a, const PhaseModel& b) {
+  ASSERT_EQ(a.k, b.k);
+  EXPECT_EQ(a.feature_names, b.feature_names);
+  EXPECT_EQ(a.feature_kinds, b.feature_kinds);
+  ASSERT_EQ(a.centers.rows(), b.centers.rows());
+  ASSERT_EQ(a.centers.cols(), b.centers.cols());
+  for (std::size_t r = 0; r < a.centers.rows(); ++r) {
+    for (std::size_t c = 0; c < a.centers.cols(); ++c) {
+      EXPECT_EQ(a.centers.at(r, c), b.centers.at(r, c))
+          << "center (" << r << "," << c << ") differs";
+    }
+  }
+  EXPECT_EQ(a.labels, b.labels);
+  ASSERT_EQ(a.silhouette_scores.size(), b.silhouette_scores.size());
+  for (std::size_t i = 0; i < a.silhouette_scores.size(); ++i) {
+    EXPECT_EQ(a.silhouette_scores[i], b.silhouette_scores[i]);
+  }
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t h = 0; h < a.phases.size(); ++h) {
+    EXPECT_EQ(a.phases[h].count, b.phases[h].count);
+    EXPECT_EQ(a.phases[h].mean_cpi, b.phases[h].mean_cpi);
+    EXPECT_EQ(a.phases[h].stddev_cpi, b.phases[h].stddev_cpi);
+    EXPECT_EQ(a.phases[h].trimmed_stddev_cpi, b.phases[h].trimmed_stddev_cpi);
+    EXPECT_EQ(a.phases[h].weight, b.phases[h].weight);
+  }
+  EXPECT_EQ(a.phase_types, b.phase_types);
+  EXPECT_EQ(a.representative_units, b.representative_units);
+}
+
+ThreadProfile shuffled_copy(const ThreadProfile& p, std::uint64_t seed) {
+  ThreadProfile s;
+  s.method_names = p.method_names;
+  s.method_kinds = p.method_kinds;
+  s.units = p.units;
+  Rng rng(seed);
+  for (std::size_t i = s.units.size(); i > 1; --i) {
+    std::swap(s.units[i - 1],
+              s.units[static_cast<std::size_t>(rng.next_below(i))]);
+  }
+  return s;
+}
+
+TEST(StreamingPhaseFormer, InOrderFinalizeIsBitIdenticalToBatch) {
+  const auto p = testing::synthetic_profile(
+      {{70, 0.5, 0.02, 1}, {70, 2.0, 0.05, 2}, {70, 1.2, 0.03, 3}});
+  StreamingPhaseFormer former{{}};
+  former.ingest_range(p, 0, p.num_units());
+  const PhaseModel streamed = former.finalize();
+  const PhaseModel batch = form_phases(p);
+  expect_models_bit_identical(streamed, batch);
+  EXPECT_EQ(former.units_ingested(), p.num_units());
+  EXPECT_EQ(former.units_retained(), p.num_units());
+}
+
+TEST(StreamingPhaseFormer, ShuffledArrivalConvergesWithinTolerance) {
+  const auto p = testing::synthetic_profile(
+      {{80, 0.5, 0.02, 1}, {80, 2.0, 0.05, 2}});
+  const PhaseModel batch = form_phases(p);
+
+  const ThreadProfile shuffled = shuffled_copy(p, 0xABCDEF);
+  StreamingPhaseFormer former{{}};
+  former.ingest_range(shuffled, 0, shuffled.num_units());
+  const PhaseModel streamed = former.finalize();
+
+  // Same structure within tolerance: phase count within one, best
+  // silhouette close, and the streamed model samples its profile about as
+  // accurately as the batch model samples its own.
+  EXPECT_LE(streamed.k > batch.k ? streamed.k - batch.k : batch.k - streamed.k,
+            1u);
+  const double best_b = *std::max_element(batch.silhouette_scores.begin(),
+                                          batch.silhouette_scores.end());
+  const double best_s = *std::max_element(streamed.silhouette_scores.begin(),
+                                          streamed.silhouette_scores.end());
+  EXPECT_NEAR(best_s, best_b, 0.15);
+
+  const SamplePlan plan_b = simprof_sample(p, batch, 24, 99);
+  const SamplePlan plan_s = simprof_sample(shuffled, streamed, 24, 99);
+  EXPECT_LT(relative_error(plan_b, p), 0.05);
+  EXPECT_LT(relative_error(plan_s, shuffled), 0.05);
+}
+
+TEST(StreamingPhaseFormer, SameArrivalOrderBitIdenticalAcrossThreadCounts) {
+  const auto p = testing::synthetic_profile(
+      {{60, 0.5, 0.02, 1}, {60, 2.0, 0.05, 2}, {60, 1.2, 0.03, 3}});
+  StreamingConfig one;
+  one.formation.threads = 1;
+  StreamingConfig eight;
+  eight.formation.threads = 8;
+
+  StreamingPhaseFormer f1{one};
+  StreamingPhaseFormer f8{eight};
+  std::vector<std::size_t> labels1, labels8;
+  for (std::size_t u = 0; u < p.num_units(); ++u) {
+    labels1.push_back(f1.ingest(p, u));
+    labels8.push_back(f8.ingest(p, u));
+  }
+  // Every live classification along the way must agree, not just the end
+  // state — this covers the mini-batch refinement path too.
+  EXPECT_EQ(labels1, labels8);
+  expect_models_bit_identical(f1.finalize(), f8.finalize());
+}
+
+TEST(StreamingPhaseFormer, WarmupReturnsNoPhaseThenLabels) {
+  const auto p = testing::synthetic_profile(
+      {{30, 0.5, 0.02, 1}, {30, 2.0, 0.05, 2}});
+  StreamingConfig cfg;
+  cfg.warmup_units = 16;
+  StreamingPhaseFormer former{cfg};
+  for (std::size_t u = 0; u + 1 < cfg.warmup_units; ++u) {
+    EXPECT_EQ(former.ingest(p, u), StreamingPhaseFormer::kNoPhase);
+    EXPECT_FALSE(former.has_model());
+  }
+  const std::size_t first = former.ingest(p, cfg.warmup_units - 1);
+  EXPECT_TRUE(former.has_model());
+  EXPECT_LT(first, former.model().k);
+  for (std::size_t u = cfg.warmup_units; u < p.num_units(); ++u) {
+    EXPECT_LT(former.ingest(p, u), former.model().k);
+  }
+  ASSERT_EQ(former.live_labels().size(), former.units_retained());
+}
+
+TEST(StreamingPhaseFormer, UpdateHookFiresPerReclusterAndCanSampleLive) {
+  const auto p = testing::synthetic_profile(
+      {{90, 0.5, 0.02, 1}, {90, 2.0, 0.05, 2}});
+  StreamingPhaseFormer former{{}};
+  std::size_t fired = 0;
+  former.set_update_hook([&](const StreamingPhaseFormer& f) {
+    ++fired;
+    EXPECT_GE(f.model().k, 1u);
+    // The live-selection path the CLI uses: an interim stratified plan from
+    // the partial profile, available before the run finishes.
+    const std::size_t n = std::min<std::size_t>(8, f.units_retained());
+    const SamplePlan plan = simprof_sample(f.profile(), f.model(), n, 7);
+    EXPECT_GT(plan.sample_size(), 0u);
+  });
+  former.ingest_range(p, 0, p.num_units());
+  EXPECT_GT(fired, 1u);  // warmup recluster plus geometric growth passes
+  EXPECT_EQ(fired, former.reclusters());
+  former.finalize();
+  EXPECT_EQ(fired, former.reclusters());
+}
+
+TEST(StreamingPhaseFormer, RetentionCapBoundsMemoryAndStillForms) {
+  const auto p = testing::synthetic_profile(
+      {{150, 0.5, 0.02, 1}, {150, 2.0, 0.05, 2}});
+  StreamingConfig cfg;
+  cfg.max_retained_units = 50;
+  StreamingPhaseFormer former{cfg};
+  former.ingest_range(p, 0, p.num_units());
+  const PhaseModel model = former.finalize();
+  EXPECT_EQ(former.units_ingested(), p.num_units());
+  EXPECT_EQ(former.units_retained(), cfg.max_retained_units);
+  EXPECT_EQ(former.live_labels().size(), cfg.max_retained_units);
+  EXPECT_GE(model.k, 1u);
+  EXPECT_EQ(model.labels.size(), cfg.max_retained_units);
+}
+
+TEST(StreamingPhaseFormer, SmallStreamsFormWithoutAborting) {
+  // Early-stream snapshots have fewer units than the k-sweep's max_k; the
+  // sweep clamps instead of contract-aborting, for n = 1, 2 and k_max − 1.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                              std::size_t{19}}) {
+    const auto p = testing::synthetic_profile({{n, 1.0, 0.05, 1}});
+    StreamingConfig cfg;
+    cfg.warmup_units = 1;  // recluster from the first unit
+    StreamingPhaseFormer former{cfg};
+    former.ingest_range(p, 0, p.num_units());
+    const PhaseModel model = former.finalize();
+    EXPECT_GE(model.k, 1u);
+    EXPECT_LE(model.k, n);
+    EXPECT_EQ(model.labels.size(), n);
+  }
+}
+
+TEST(StreamingPhaseFormer, ConflictingMethodTableIsRejected) {
+  const auto p = testing::synthetic_profile({{20, 1.0, 0.05, 1}});
+  auto q = p;
+  q.method_names[1] = "something-else";
+  StreamingPhaseFormer former{{}};
+  former.ingest(p, 0);
+  EXPECT_THROW(former.ingest(q, 0), ContractViolation);
+}
+
+TEST(StreamingPhaseFormer, FinalizeWithoutIngestIsRejected) {
+  StreamingPhaseFormer former{{}};
+  EXPECT_THROW(former.finalize(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace simprof::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "stats/feature_select.h"
@@ -218,6 +219,150 @@ TEST(FRegression, OutputSortedAscendingForStableColumnSelection) {
   const auto idx = top_k_indices(scores, 3);
   EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
   EXPECT_EQ(idx, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(ChooseK, ZeroMaxKClampsToOne) {
+  // max_k = 0 used to leave the sweep scoring nothing (UB in the best-score
+  // reduction); it must clamp up to a defined single-cluster sweep.
+  Rng rng(61);
+  Matrix pts = gaussian_blobs({{0, 0}, {10, 0}}, 10, 0.1, rng);
+  ChooseKConfig cfg;
+  cfg.max_k = 0;
+  ChooseKResult r = choose_k(pts, rng, cfg);
+  EXPECT_EQ(r.k, 1u);
+  ASSERT_EQ(r.scores.size(), 1u);
+  EXPECT_TRUE(std::isfinite(r.scores[0]));
+}
+
+TEST(ChooseK, FewerPointsThanMaxKClampsSweep) {
+  // n = 1 and n = 2 points against the default max_k = 20: the sweep clamps
+  // to the population instead of asking k-means for k > n.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}}) {
+    Matrix pts(n, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.at(i, 0) = static_cast<double>(i);
+      pts.at(i, 1) = 1.0;
+    }
+    Rng rng(67 + n);
+    ChooseKResult r = choose_k(pts, rng);
+    EXPECT_GE(r.k, 1u);
+    EXPECT_LE(r.k, n);
+    EXPECT_EQ(r.scores.size(), n);
+    for (double s : r.scores) EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(ChooseK, AllIdenticalRowsCollapseToOneClusterWithoutNaN) {
+  Matrix pts(12, 3);
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    pts.at(i, 0) = 0.25;
+    pts.at(i, 1) = 0.5;
+    pts.at(i, 2) = 0.25;
+  }
+  Rng rng(71);
+  ChooseKResult r = choose_k(pts, rng);
+  EXPECT_EQ(r.k, 1u);
+  for (double s : r.scores) {
+    EXPECT_TRUE(std::isfinite(s)) << "silhouette must stay defined";
+  }
+}
+
+TEST(Silhouette, AllIdenticalPointsScoreZeroNotNaN) {
+  // Zero-variance geometry: a(i) = b(i) = 0 for every point; the guarded
+  // denominator must yield 0, not 0/0.
+  Matrix pts(10, 2);
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    pts.at(i, 0) = 1.0;
+    pts.at(i, 1) = 2.0;
+  }
+  std::vector<std::size_t> labels(10, 0);
+  for (std::size_t i = 5; i < 10; ++i) labels[i] = 1;
+  const double exact = exact_silhouette(pts, labels, 2, 1);
+  const double sampled = sampled_silhouette(pts, labels, 2, 8, 13, 1);
+  EXPECT_EQ(exact, 0.0);
+  EXPECT_EQ(sampled, 0.0);
+}
+
+TEST(FRegression, ConstantTargetScoresEverythingZero) {
+  // Zero-variance IPC (all-identical units): syy_centered = 0 must zero all
+  // scores — the selection then comes back empty and the caller collapses
+  // to a single phase — rather than dividing by it.
+  Rng rng(73);
+  const std::size_t n = 32;
+  Matrix x(n, 2);
+  std::vector<double> y(n, 1.25);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.next_double();
+    x.at(i, 1) = rng.next_double();
+  }
+  for (double s : f_regression(x, y)) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(FRegression, SingleSurvivingColumnScoresDefined) {
+  const std::size_t n = 16;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<double>(i);
+    x.at(i, 0) = 2.0 * y[i];  // perfectly correlated single feature
+  }
+  const auto scores = f_regression(x, y);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_TRUE(std::isfinite(scores[0]));
+  EXPECT_GT(scores[0], 0.0);
+  EXPECT_EQ(top_k_indices(scores, 5), (std::vector<std::size_t>{0}));
+}
+
+TEST(MiniBatchKMeans, MovesCentersWithPerCenterLearningRate) {
+  Matrix centers(2, 1);
+  centers.at(0, 0) = 0.0;
+  centers.at(1, 0) = 10.0;
+  MiniBatchKMeans mb(centers);  // counts default to 1
+
+  Matrix batch(3, 1);
+  batch.at(0, 0) = 1.0;
+  batch.at(1, 0) = 1.0;
+  batch.at(2, 0) = 9.0;
+  const auto labels = mb.partial_fit(batch, 1);
+  EXPECT_EQ(labels, (std::vector<std::size_t>{0, 0, 1}));
+
+  // Center 0 sees two pulls: 0 → 0 + (1−0)/2 = 0.5 → 0.5 + (1−0.5)/3.
+  EXPECT_DOUBLE_EQ(mb.centers().at(0, 0), 0.5 + (1.0 - 0.5) / 3.0);
+  // Center 1 sees one: 10 → 10 + (9−10)/2.
+  EXPECT_DOUBLE_EQ(mb.centers().at(1, 0), 9.5);
+  EXPECT_EQ(mb.counts(), (std::vector<std::uint64_t>{3, 2}));
+}
+
+TEST(MiniBatchKMeans, BitIdenticalAcrossThreadCounts) {
+  Rng rng(79);
+  Matrix batch = gaussian_blobs({{0, 0}, {8, 8}, {-4, 6}}, 40, 1.0, rng);
+  Matrix centers(3, 2);
+  centers.at(0, 0) = 0.0;
+  centers.at(0, 1) = 0.0;
+  centers.at(1, 0) = 8.0;
+  centers.at(1, 1) = 8.0;
+  centers.at(2, 0) = -4.0;
+  centers.at(2, 1) = 6.0;
+
+  MiniBatchKMeans a(centers), b(centers);
+  const auto la = a.partial_fit(batch, 1);
+  const auto lb = b.partial_fit(batch, 8);
+  EXPECT_EQ(la, lb);
+  const auto fa = a.centers().flat();
+  const auto fb = b.centers().flat();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i], fb[i]) << "flat index " << i;
+  }
+}
+
+TEST(MiniBatchKMeans, EmptyBatchIsANoOp) {
+  Matrix centers(2, 2);
+  centers.at(1, 0) = 3.0;
+  MiniBatchKMeans mb(centers);
+  Matrix batch(0, 2);
+  EXPECT_TRUE(mb.partial_fit(batch).empty());
+  EXPECT_EQ(mb.counts(), (std::vector<std::uint64_t>{1, 1}));
 }
 
 // Property: k-means inertia never increases when k grows (best-of restarts

@@ -61,6 +61,7 @@
 #include "core/phase.h"
 #include "core/sampling.h"
 #include "core/sensitivity.h"
+#include "core/streaming.h"
 #include "data/catalog.h"
 #include "obs/obs.h"
 #include "support/table.h"
@@ -117,7 +118,17 @@ const std::vector<CommandSpec> kCommands = {
      {{"input", "NAME", "Table II graph input (default Google)"},
       {"scale", "S", "workload scale factor (default 1.0)"},
       {"seed", "N", "simulation seed (default 42)"},
-      {"out", "FILE", "output profile path"}}},
+      {"out", "FILE", "output profile path"},
+      {"stream", "",
+       "feed units through the online phase former in arrival order and "
+       "emit interim stratified selections at every recluster, before "
+       "ingestion finishes"},
+      {"stream-warmup", "N",
+       "units before the first streaming recluster (default 16)"},
+      {"stream-batch", "N",
+       "mini-batch size for streaming center refinement (default 8)"},
+      {"stream-retain", "N",
+       "streaming retention cap in units, 0 = retain all (default 0)"}}},
     {"phases",
      "<profile.sprf>",
      "form phases from a saved profile and print the phase table",
@@ -370,6 +381,50 @@ int cmd_profile(const Args& args) {
             << run.profile.num_methods() << " methods) to " << out
             << "\noracle CPI " << Table::num(run.profile.oracle_cpi(), 4)
             << ", records out " << run.result.records_out << '\n';
+
+  if (args.has("stream")) {
+    // Online path: replay the collected units through the streaming former
+    // in arrival order (standing in for the live unit-boundary hook of a
+    // profiling daemon) and print an interim stratified selection at every
+    // recluster — selections exist long before the last unit is ingested.
+    core::StreamingConfig scfg;
+    scfg.warmup_units = std::stoull(args.opt("stream-warmup", "16"));
+    scfg.refine_batch = std::stoull(args.opt("stream-batch", "8"));
+    scfg.max_retained_units = std::stoull(args.opt("stream-retain", "0"));
+    core::StreamingPhaseFormer former(scfg);
+    former.set_update_hook([&](const core::StreamingPhaseFormer& f) {
+      const std::size_t n = std::min<std::size_t>(16, f.units_retained());
+      const auto plan =
+          core::simprof_sample(f.profile(), f.model(), n, cfg.seed);
+      std::cout << "stream: recluster " << f.reclusters() << " @ "
+                << f.units_ingested() << " units -> k=" << f.model().k
+                << ", interim selection " << plan.sample_size()
+                << " points, est CPI " << Table::num(plan.estimated_cpi, 4)
+                << '\n';
+    });
+    former.ingest_range(run.profile, 0, run.profile.num_units());
+    const core::PhaseModel streamed = former.finalize();
+
+    // Quality figures vs the batch model on the same profile — the manifest
+    // carries both the streamed structure and its distance from batch, so
+    // `simprof report` gates streaming drift across runs.
+    const core::PhaseModel batch = core::form_phases(run.profile);
+    const double phase_delta = static_cast<double>(
+        streamed.k > batch.k ? streamed.k - batch.k : batch.k - streamed.k);
+    obs::ledger().set_config("stream", "1");
+    obs::ledger().set_quality("stream_phase_count",
+                              static_cast<double>(streamed.k));
+    if (streamed.k >= 1 && streamed.k <= streamed.silhouette_scores.size()) {
+      obs::ledger().set_quality("stream_silhouette",
+                                streamed.silhouette_scores[streamed.k - 1]);
+    }
+    obs::ledger().set_quality("stream_reclusters",
+                              static_cast<double>(former.reclusters()));
+    obs::ledger().set_quality("stream_batch_phase_delta", phase_delta);
+    std::cout << "stream: final k=" << streamed.k << " after "
+              << former.reclusters() << " reclusters (batch k=" << batch.k
+              << ", delta " << phase_delta << ")\n";
+  }
   return 0;
 }
 
