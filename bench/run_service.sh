@@ -1,0 +1,69 @@
+#!/bin/sh
+# Refresh BENCH_service.json — the daemon's measured saturation curve.
+#
+# Runs perf_service, the custom sweep driver for the service layer:
+#
+#   fixed_sweep        QPS per hand-pinned admission level 1..max — the
+#                      ground-truth saturation curve; its argmax is the knee.
+#   probing            the same load with throughput-probing admission
+#                      control and NO hand-set concurrency. The run fails
+#                      (non-zero exit) unless the converged throughput is
+#                      within 10% of the best fixed level — the acceptance
+#                      criterion for the controller. Includes the full
+#                      admission trace (level/throughput per probe window).
+#   offered_load_sweep QPS / p50 / p99 versus offered concurrency on one
+#                      resident probing server — the hockey-stick curve.
+#
+# The manifest carries service_qps / service_p50_ms / service_p99_ms /
+# service_admission_level / service_probe_ratio as quality figures, so
+# `simprof report` gates regressions against previous runs. The fold step
+# appends the svc.* / pool.* counter snapshot under "simprof_metrics" and
+# stamps build provenance.
+#
+# Usage: bench/run_service.sh [perf_service flags, e.g. --max-level 8]
+set -e
+cd "$(dirname "$0")/.."
+. bench/bench_prelude.sh
+bench_build perf_service
+
+metrics_tmp=$(mktemp)
+trap 'rm -f "$metrics_tmp"' EXIT
+
+"$BENCH_BUILD_DIR"/bench/perf_service \
+  --log-level warn \
+  --metrics-out "$metrics_tmp" \
+  --manifest-out MANIFEST_service.json \
+  --out BENCH_service.json \
+  "$@"
+
+python3 - "$metrics_tmp" <<'EOF'
+import json, os, sys
+
+with open("BENCH_service.json") as f:
+    bench = json.load(f)
+with open(sys.argv[1]) as f:
+    metrics = json.load(f)
+
+counters = metrics.get("counters", {})
+fold = {
+    "svc": {k.split(".", 1)[1]: v for k, v in counters.items()
+            if k.startswith("svc.")},
+    "pool": {k.split(".", 1)[1]: v for k, v in counters.items()
+             if k.startswith("pool.")},
+}
+for name in ("svc.queue_wait_ms", "svc.request_ms"):
+    hist = metrics.get("quantile_histograms", {}).get(name)
+    if hist is not None:
+        fold[name] = hist
+
+bench["simprof_metrics"] = fold
+with open("BENCH_service.json", "w") as f:
+    json.dump(bench, f, indent=1)
+    f.write("\n")
+
+probing = bench["probing"]
+print("folded metrics snapshot into BENCH_service.json")
+print("best_fixed:", bench["best_fixed"],
+      "probing_level:", probing["converged_level"],
+      "qps_vs_best_fixed:", round(probing["qps_vs_best_fixed"], 3))
+EOF

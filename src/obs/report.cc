@@ -549,13 +549,37 @@ std::string fmt(double v) {
 /// Direction table for quality figures: true → higher is better.
 bool quality_higher_is_better(std::string_view key, bool& known) {
   known = true;
-  if (key == "silhouette" || key == "stream_silhouette") return true;
+  if (key == "silhouette" || key == "stream_silhouette" ||
+      key == "service_qps" || key == "loadgen_qps") {
+    return true;
+  }
   if (key == "sampling_error_frac" || key == "ci_rel_width" ||
       key == "cov_weighted" || key == "cov" ||
-      key == "stream_batch_phase_delta") {
+      key == "stream_batch_phase_delta" || key == "service_p50_ms" ||
+      key == "service_p99_ms" || key == "loadgen_p50_ms" ||
+      key == "loadgen_p99_ms") {
     return false;
   }
   known = false;
+  return false;
+}
+
+/// Quality keys that are denominators: they count the work a run actually
+/// did (units profiled, requests served). A manifest reporting zero for one
+/// of these did no work, so every other quality figure in it is vacuous —
+/// previously such manifests sailed through the gate because each pairwise
+/// comparison skips when both sides are zero/absent.
+constexpr const char* kDenominatorQualityKeys[] = {
+    "units",
+    "units_measured",
+    "service_requests",
+    "loadgen_completed",
+};
+
+bool is_denominator_quality_key(std::string_view key) {
+  for (const char* k : kDenominatorQualityKeys) {
+    if (key == k) return true;
+  }
   return false;
 }
 
@@ -716,6 +740,42 @@ RunReport diff_manifests(const JsonValue& base, const JsonValue& current,
   // Quality figures (direction-aware).
   const JsonValue* bqual = base.find("quality");
   const JsonValue* cqual = current.find("quality");
+
+  // Empty-denominator guard: a manifest whose work count (units profiled,
+  // requests served) is zero computed its other quality figures over nothing,
+  // and every pairwise check below skips zero-vs-zero — so a run that
+  // silently did no work would gate as "no regressions". Make it explicit.
+  if (cqual != nullptr) {
+    for (const auto& [key, cval] : cqual->as_object()) {
+      if (!is_denominator_quality_key(key) ||
+          cval.type() != JsonValue::Type::kNumber) {
+        continue;
+      }
+      const double c = cval.as_number();
+      if (c > 0.0) continue;
+      const double b = bqual != nullptr ? bqual->number_or(key, 0.0) : 0.0;
+      add_finding(out, ReportFinding::Kind::kRegression, "quality." + key, b, c,
+                  "quality." + key + " is " + fmt(c) +
+                      ": the run did no work, so its quality figures are "
+                      "vacuous");
+    }
+  }
+  if (bqual != nullptr) {
+    for (const auto& [key, bval] : bqual->as_object()) {
+      if (!is_denominator_quality_key(key) ||
+          bval.type() != JsonValue::Type::kNumber) {
+        continue;
+      }
+      if (cqual == nullptr || cqual->find(key) == nullptr) {
+        add_finding(out, ReportFinding::Kind::kRegression, "quality." + key,
+                    bval.as_number(), 0.0,
+                    "quality." + key +
+                        " disappeared from the current manifest — cannot "
+                        "prove the run did any work");
+      }
+    }
+  }
+
   if (bqual != nullptr && cqual != nullptr) {
     for (const auto& [key, bval] : bqual->as_object()) {
       const JsonValue* cval = cqual->find(key);

@@ -1,0 +1,91 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace simprof::service {
+
+ThroughputProbe::ThroughputProbe(AdmissionConfig cfg) : cfg_(cfg) {
+  SIMPROF_EXPECTS(cfg_.min_concurrency >= 1, "min_concurrency must be >= 1");
+  SIMPROF_EXPECTS(cfg_.max_concurrency >= cfg_.min_concurrency,
+                  "max_concurrency below min_concurrency");
+  stable_ = std::clamp(cfg_.initial_concurrency, cfg_.min_concurrency,
+                       cfg_.max_concurrency);
+  level_.store(stable_, std::memory_order_relaxed);
+}
+
+std::size_t ThroughputProbe::step_from(std::size_t level) const {
+  const auto step = static_cast<std::size_t>(
+      std::lround(static_cast<double>(level) * cfg_.step_multiple));
+  return std::max<std::size_t>(step, 1);
+}
+
+void ThroughputProbe::set_level(std::size_t level) {
+  level_.store(std::clamp(level, cfg_.min_concurrency, cfg_.max_concurrency),
+               std::memory_order_relaxed);
+}
+
+void ThroughputProbe::on_probe(double throughput, bool tickets_exhausted) {
+  ++probes_;
+  if (!std::isfinite(throughput) || throughput < 0.0) throughput = 0.0;
+
+  switch (state_) {
+    case State::kStable: {
+      // Track the baseline while holding steady so drift in the workload
+      // doesn't make future probe comparisons fire on stale numbers.
+      if (!has_baseline_) {
+        stable_throughput_ = throughput;
+        has_baseline_ = true;
+      } else {
+        stable_throughput_ = cfg_.baseline_smoothing * throughput +
+                             (1.0 - cfg_.baseline_smoothing) * stable_throughput_;
+      }
+      if (tickets_exhausted && stable_ < cfg_.max_concurrency) {
+        set_level(stable_ + step_from(stable_));
+        state_ = State::kProbingUp;
+      } else if (stable_ > cfg_.min_concurrency &&
+                 (!tickets_exhausted || stable_ == cfg_.max_concurrency)) {
+        // Down-probe when there is idle capacity — or when pinned at the
+        // ceiling, where it is the only exploration left (a saturated
+        // daemon at max would otherwise never learn the knee is lower).
+        set_level(stable_ - std::min(step_from(stable_), stable_ - 1));
+        state_ = State::kProbingDown;
+      }
+      break;
+    }
+    case State::kProbingUp: {
+      if (throughput > stable_throughput_ * (1.0 + cfg_.sensitivity)) {
+        stable_ = concurrency();
+        stable_throughput_ = throughput;
+        state_ = State::kStable;
+      } else if (stable_ > cfg_.min_concurrency) {
+        // No gain past the knee. Chain straight into a down-probe: under
+        // sustained saturation tickets are always exhausted, so the stable
+        // branch alone would never test below — this chain is what walks an
+        // over-provisioned level back down to the knee.
+        set_level(stable_ - std::min(step_from(stable_), stable_ - 1));
+        state_ = State::kProbingDown;
+      } else {
+        set_level(stable_);
+        state_ = State::kStable;
+      }
+      break;
+    }
+    case State::kProbingDown: {
+      if (throughput >= stable_throughput_ * (1.0 - cfg_.sensitivity)) {
+        // Same throughput at less concurrency: the dropped tickets were
+        // waste (we were past the knee). Keep the lower level.
+        stable_ = concurrency();
+        stable_throughput_ = throughput;
+      } else {
+        set_level(stable_);  // the tickets were load-bearing — revert
+      }
+      state_ = State::kStable;
+      break;
+    }
+  }
+}
+
+}  // namespace simprof::service

@@ -1,0 +1,92 @@
+// Throughput-probing admission control, modeled on MongoDB's execution
+// control (`throughput_probing_simulator`, SNIPPETS.md snippet 1): instead
+// of hand-configuring the daemon's concurrency (`--threads`), the admitted
+// ticket count is *discovered* by hill-climbing on observed completions/sec.
+//
+// The controller is a three-state machine driven by fixed-length probe
+// windows. Each window the server reports (throughput, tickets_exhausted):
+//
+//   kStable       Holding `stable` tickets. If requests waited with every
+//                 ticket busy (exhausted), probe up by a step; otherwise,
+//                 if above the floor, probe down a step to test whether the
+//                 extra concurrency was buying anything.
+//   kProbingUp    Ran one window at stable+step. Keep the higher level only
+//                 if throughput improved by more than `sensitivity`
+//                 (relative); otherwise chain into a down-probe — past the
+//                 knee of the saturation curve more tickets add latency,
+//                 not QPS, and under sustained saturation (tickets always
+//                 exhausted) this chain is the only path that walks an
+//                 over-provisioned level back down.
+//   kProbingDown  Ran one window at stable−step. Keep the lower level
+//                 unless throughput *dropped* by more than `sensitivity` —
+//                 equal throughput at less concurrency is a win, and this
+//                 is what walks the level back down to the knee after a
+//                 burst.
+//
+// Accepted moves update the stable throughput baseline; while holding
+// stable the baseline EWMA-tracks the workload so the controller adapts to
+// drift. The step is multiplicative (step_multiple of the current level,
+// floor 1 ticket), so convergence is O(log range) windows from any start.
+//
+// Determinism: the controller is pure state — on_probe(throughput,
+// exhausted) → level — with no clock or RNG access, so unit tests drive it
+// with synthetic saturation curves and assert convergence exactly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace simprof::service {
+
+struct AdmissionConfig {
+  std::size_t min_concurrency = 1;
+  std::size_t max_concurrency = 32;
+  std::size_t initial_concurrency = 2;
+  /// Probe step as a fraction of the current level (floor: 1 ticket).
+  double step_multiple = 0.25;
+  /// Relative throughput change required to accept an up-probe / reject a
+  /// down-probe.
+  double sensitivity = 0.05;
+  /// Probe window length (used by the server's probe thread, not by the
+  /// state machine itself).
+  std::uint32_t probe_interval_ms = 200;
+  /// EWMA weight of the newest stable-window throughput observation.
+  double baseline_smoothing = 0.5;
+};
+
+class ThroughputProbe {
+ public:
+  enum class State { kStable, kProbingUp, kProbingDown };
+
+  explicit ThroughputProbe(AdmissionConfig cfg);
+
+  /// Currently admitted ticket count. Lock-free read for the dispatch path.
+  std::size_t concurrency() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+
+  /// Feed one completed probe window: observed completions/sec and whether
+  /// any request waited while every admitted ticket was busy. May change
+  /// concurrency(). Single-writer (the server's probe thread).
+  void on_probe(double throughput, bool tickets_exhausted);
+
+  State state() const { return state_; }
+  std::size_t stable_concurrency() const { return stable_; }
+  double stable_throughput() const { return stable_throughput_; }
+  std::uint64_t probes() const { return probes_; }
+
+ private:
+  std::size_t step_from(std::size_t level) const;
+  void set_level(std::size_t level);
+
+  AdmissionConfig cfg_;
+  std::atomic<std::size_t> level_;
+  std::size_t stable_;
+  double stable_throughput_ = 0.0;
+  bool has_baseline_ = false;
+  State state_ = State::kStable;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace simprof::service

@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "obs/obs.h"
-#include "support/assert.h"
 
 namespace simprof::support {
 
@@ -45,6 +44,11 @@ struct ThreadPool::Impl {
   std::atomic<std::size_t> next_chunk{0};
   std::size_t active = 0;
   std::exception_ptr error;
+
+  // Top-level callers that arrive while a job is in flight wait here until
+  // `fn` drains back to nullptr; `queued` counts them for the depth gauge.
+  std::condition_variable queue_cv;
+  std::size_t queued = 0;
 
   bool stopping = false;
   std::vector<std::thread> threads;
@@ -152,10 +156,28 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   obs::ObsSpan span("pool.parallel_for",
                     {{"chunks", chunks}, {"grain", grain}, {"helpers", helpers}});
 
+  static obs::Gauge& queue_depth = obs::metrics().gauge("pool.queue_depth");
+  static obs::QuantileHistogram& queue_wait_ms =
+      obs::metrics().quantile_histogram("pool.queue_wait_ms");
+
   Impl& im = *impl_;
   std::unique_lock<std::mutex> lock(im.mu);
-  SIMPROF_EXPECTS(im.fn == nullptr,
-                  "concurrent top-level parallel_for on one pool");
+  // Concurrent top-level callers queue behind the in-flight job. One
+  // observation per pooled job (0.0 when the pool was free) keeps the
+  // histogram's count equal to pool.jobs regardless of contention.
+  double waited_ms = 0.0;
+  if (im.fn != nullptr) {
+    ++im.queued;
+    queue_depth.set(static_cast<double>(im.queued));
+    const auto wait_start = std::chrono::steady_clock::now();
+    im.queue_cv.wait(lock, [&] { return im.fn == nullptr; });
+    waited_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wait_start)
+                    .count();
+    --im.queued;
+    queue_depth.set(static_cast<double>(im.queued));
+  }
+  queue_wait_ms.observe(waited_ms);
   im.fn = &fn;
   im.begin = begin;
   im.end = end;
@@ -181,6 +203,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::exception_ptr error = im.error;
   im.error = nullptr;
   lock.unlock();
+  im.queue_cv.notify_all();
   if (error) std::rethrow_exception(error);
 }
 

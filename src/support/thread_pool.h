@@ -36,6 +36,15 @@ class ThreadPool {
   /// by `fn` is rethrown here. Nested calls (from inside a pool worker) run
   /// inline serially, in chunk order, to avoid deadlock — results are
   /// unchanged because chunking is identical.
+  ///
+  /// Concurrent top-level callers (e.g. the service daemon's request
+  /// workers) queue FIFO-ish behind the in-flight job rather than faulting:
+  /// each caller waits until the pool is free, publishes its own job, and
+  /// per-job results stay bit-identical because jobs never interleave
+  /// chunks. The wait is observable via the `pool.queue_depth` gauge and the
+  /// `pool.queue_wait_ms` quantile histogram (one observation per pooled
+  /// job — 0.0 when uncontended — so observation counts stay
+  /// thread-count-deterministic for a fixed job sequence).
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const ChunkFn& fn, std::size_t max_parallelism = 0);
 

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "core/phase.h"
@@ -173,6 +174,50 @@ TEST(StreamingPhaseFormer, RetentionCapBoundsMemoryAndStillForms) {
   EXPECT_EQ(former.live_labels().size(), cfg.max_retained_units);
   EXPECT_GE(model.k, 1u);
   EXPECT_EQ(model.labels.size(), cfg.max_retained_units);
+}
+
+TEST(StreamingPhaseFormer, ManyConcurrentFormersEvictUnderQuotaIndependently) {
+  // The daemon model: every in-flight streaming request owns its own former
+  // and runs on its own thread, with max_retained_units as the per-client
+  // memory quota. Run many concurrently (TSan coverage for shared-nothing
+  // isolation) with distinct quotas, and check each evicted down to exactly
+  // its own cap — no cross-talk between instances.
+  const auto p = testing::synthetic_profile(
+      {{120, 0.5, 0.02, 1}, {120, 2.0, 0.05, 2}});
+  constexpr std::size_t kFormers = 8;
+  std::vector<PhaseModel> models(kFormers);
+  std::vector<std::size_t> retained(kFormers);
+  std::vector<std::thread> threads;
+  threads.reserve(kFormers);
+  for (std::size_t i = 0; i < kFormers; ++i) {
+    threads.emplace_back([&, i] {
+      StreamingConfig cfg;
+      // Half the formers use the shared pool (exercises its job queueing
+      // under concurrency), half run inline.
+      cfg.formation.threads = (i % 2 == 0) ? 1 : 2;
+      cfg.max_retained_units = 40 + 4 * i;
+      StreamingPhaseFormer former{cfg};
+      former.ingest_range(p, 0, p.num_units());
+      models[i] = former.finalize();
+      retained[i] = former.units_retained();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < kFormers; ++i) {
+    EXPECT_EQ(retained[i], 40 + 4 * i) << "former " << i;
+    EXPECT_GE(models[i].k, 1u) << "former " << i;
+    EXPECT_EQ(models[i].labels.size(), 40 + 4 * i) << "former " << i;
+  }
+  // Concurrency must not perturb results: a serial run with the same quota
+  // is bit-identical to the concurrent one.
+  for (const std::size_t i : {std::size_t{0}, kFormers - 1}) {
+    StreamingConfig cfg;
+    cfg.formation.threads = (i % 2 == 0) ? 1 : 2;
+    cfg.max_retained_units = 40 + 4 * i;
+    StreamingPhaseFormer serial{cfg};
+    serial.ingest_range(p, 0, p.num_units());
+    expect_models_bit_identical(serial.finalize(), models[i]);
+  }
 }
 
 TEST(StreamingPhaseFormer, SmallStreamsFormWithoutAborting) {

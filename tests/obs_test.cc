@@ -1083,6 +1083,69 @@ TEST(ReportDiffTest, QuantileHistogramPercentilesAreGated) {
   EXPECT_TRUE(has_regression(r, "lab.run_ms.p50"));
 }
 
+/// Manifest fixture for the service-side quality figures, with the
+/// work-count denominator optionally omitted.
+std::string service_manifest_fixture(double started_ms, double requests,
+                                     double qps, double p99,
+                                     bool include_requests = true) {
+  std::ostringstream os;
+  os << R"({"schema": "simprof.manifest/1", "verb": "serve", )"
+     << R"("started_unix_ms": )" << started_ms
+     << R"(, "duration_ms": 50, "exit_code": 0, "quality": {)";
+  if (include_requests) os << R"("service_requests": )" << requests << ", ";
+  os << R"("service_qps": )" << qps << R"(, "service_p99_ms": )" << p99
+     << "}}";
+  return os.str();
+}
+
+TEST(ReportDiffTest, EmptyDenominatorIsExplicitRegression) {
+  const JsonValue base =
+      parsed_fixture(service_manifest_fixture(1000, 12, 50.0, 240.0));
+
+  // Zero requests served: the quality figures were computed over nothing.
+  RunReport r = diff_manifests(
+      base, parsed_fixture(service_manifest_fixture(2000, 0, 0.0, 0.0)), {},
+      "b", "c");
+  EXPECT_TRUE(has_regression(r, "quality.service_requests"));
+
+  // Even zero-vs-zero regresses — two do-nothing runs must not gate green.
+  r = diff_manifests(
+      parsed_fixture(service_manifest_fixture(1000, 0, 0.0, 0.0)),
+      parsed_fixture(service_manifest_fixture(2000, 0, 0.0, 0.0)), {}, "b",
+      "c");
+  EXPECT_TRUE(has_regression(r, "quality.service_requests"));
+
+  // The denominator vanishing from the current manifest is equally blind.
+  r = diff_manifests(base,
+                     parsed_fixture(service_manifest_fixture(
+                         2000, 0, 50.0, 240.0, /*include_requests=*/false)),
+                     {}, "b", "c");
+  EXPECT_TRUE(has_regression(r, "quality.service_requests"));
+
+  // A healthy pair with the same counts gates clean.
+  r = diff_manifests(
+      base, parsed_fixture(service_manifest_fixture(2000, 12, 50.0, 240.0)),
+      {}, "b", "c");
+  EXPECT_EQ(r.regressions(), 0u);
+}
+
+TEST(ReportDiffTest, ServiceQualityFiguresAreDirectionAware) {
+  const JsonValue base =
+      parsed_fixture(service_manifest_fixture(1000, 12, 50.0, 240.0));
+
+  // Throughput collapse: higher is better, so the drop regresses.
+  RunReport r = diff_manifests(
+      base, parsed_fixture(service_manifest_fixture(2000, 12, 30.0, 240.0)),
+      {}, "b", "c");
+  EXPECT_TRUE(has_regression(r, "quality.service_qps"));
+
+  // Tail latency growth: lower is better.
+  r = diff_manifests(
+      base, parsed_fixture(service_manifest_fixture(2000, 12, 50.0, 400.0)),
+      {}, "b", "c");
+  EXPECT_TRUE(has_regression(r, "quality.service_p99_ms"));
+}
+
 TEST(ReportDirectoryTest, GatesNewestAgainstPrevious) {
   LogGuard log_guard;
   std::ostringstream sink;

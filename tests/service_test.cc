@@ -1,0 +1,539 @@
+// Service daemon suite: protocol round-trips, ThroughputProbe convergence
+// on synthetic saturation curves, and an in-process ServiceServer driven
+// over a real Unix socket — bit-identity with the one-shot lab, N
+// concurrent same-config clients collapsing to one oracle pass, typed
+// over-quota / queue-full / shutting-down rejections, per-request stream
+// updates under the retention quota, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/lab.h"
+#include "core/phase.h"
+#include "core/sampling.h"
+#include "obs/obs.h"
+#include "service/admission.h"
+#include "service/client.h"
+#include "service/loadgen.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "support/assert.h"
+
+namespace simprof::service {
+namespace {
+
+class ScratchDir {
+ public:
+  ScratchDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("simprof_svc_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+/// Small, fast lab + service configuration on a private socket and cache.
+ServiceConfig small_service(const ScratchDir& dir) {
+  ServiceConfig cfg;
+  cfg.socket_path = dir.str() + "/sock";
+  cfg.lab.scale = 0.05;
+  cfg.lab.graph_scale_override = 12;
+  cfg.lab.cache_dir = dir.str() + "/cache";
+  cfg.admission.initial_concurrency = 2;
+  cfg.admission.max_concurrency = 4;
+  return cfg;
+}
+
+template <typename T>
+T roundtrip(const T& v) {
+  std::ostringstream os(std::ios::binary);
+  BinaryWriter w(os);
+  v.write(w);
+  std::istringstream is(os.str());
+  BinaryReader r(is);
+  return T::read(r);
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::metrics().counter(name).value();
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+
+TEST(ServiceProtocol, ProfileMessagesRoundTrip) {
+  ProfileRequest q;
+  q.workload = "grep_sp";
+  q.input = "Wiki";
+  q.scale = 0.125;
+  q.seed = 99;
+  q.analyze = 0;
+  q.sample_n = 3;
+  q.want_profile_bytes = 1;
+  q.stream = 1;
+  q.stream_retain = 77;
+  const ProfileRequest q2 = roundtrip(q);
+  EXPECT_EQ(q2.workload, q.workload);
+  EXPECT_EQ(q2.input, q.input);
+  EXPECT_EQ(q2.scale, q.scale);
+  EXPECT_EQ(q2.seed, q.seed);
+  EXPECT_EQ(q2.analyze, q.analyze);
+  EXPECT_EQ(q2.sample_n, q.sample_n);
+  EXPECT_EQ(q2.want_profile_bytes, q.want_profile_bytes);
+  EXPECT_EQ(q2.stream, q.stream);
+  EXPECT_EQ(q2.stream_retain, q.stream_retain);
+
+  ProfileResult res;
+  res.from_cache = 1;
+  res.units = 18;
+  res.methods = 7;
+  res.oracle_cpi = 1.25;
+  res.phase_count = 3;
+  res.estimated_cpi = 1.24;
+  res.standard_error = 0.01;
+  res.selected_units = {2, 9, 17};
+  res.weights = {0.5, 0.25, 0.25};
+  res.profile_bytes = std::string("bin\0ary\x01\xff", 9);  // embedded NULs
+  const ProfileResult res2 = roundtrip(res);
+  EXPECT_EQ(res2.units, res.units);
+  EXPECT_EQ(res2.selected_units, res.selected_units);
+  EXPECT_EQ(res2.weights, res.weights);
+  EXPECT_EQ(res2.profile_bytes, res.profile_bytes);
+  EXPECT_EQ(res2.oracle_cpi, res.oracle_cpi);
+
+  StreamUpdate u;
+  u.recluster = 4;
+  u.units_ingested = 120;
+  u.units_retained = 50;
+  u.phase_count = 2;
+  u.estimated_cpi = 0.9;
+  u.selected_units = {1, 2, 3};
+  const StreamUpdate u2 = roundtrip(u);
+  EXPECT_EQ(u2.recluster, u.recluster);
+  EXPECT_EQ(u2.units_retained, u.units_retained);
+  EXPECT_EQ(u2.selected_units, u.selected_units);
+}
+
+TEST(ServiceProtocol, SensitivityMeasureStatsRoundTrip) {
+  SensitivityRequest s;
+  s.workload = "wc_sp";
+  s.references = {"grep_sp", "sort_mr"};
+  s.threshold = 0.2;
+  const SensitivityRequest s2 = roundtrip(s);
+  EXPECT_EQ(s2.references, s.references);
+  EXPECT_EQ(s2.threshold, s.threshold);
+
+  MeasureRequest m;
+  m.workload = "grep_sp";
+  m.units = {0, 5, 11};
+  EXPECT_EQ(roundtrip(m).units, m.units);
+
+  MeasureResultMsg mr;
+  mr.used_checkpoints = 1;
+  mr.checkpoints_restored = 3;
+  mr.unit_ids = {0, 5, 11};
+  mr.cpis = {1.0, 1.5, 2.0};
+  const MeasureResultMsg mr2 = roundtrip(mr);
+  EXPECT_EQ(mr2.unit_ids, mr.unit_ids);
+  EXPECT_EQ(mr2.cpis, mr.cpis);
+
+  StatsResult st;
+  st.accepted = 10;
+  st.rejected = 2;
+  st.admission_level = 4;
+  const StatsResult st2 = roundtrip(st);
+  EXPECT_EQ(st2.accepted, st.accepted);
+  EXPECT_EQ(st2.admission_level, st.admission_level);
+}
+
+TEST(ServiceProtocol, HeaderValidatesMagicAndVersion) {
+  const std::string ok = pack_message(MsgKind::kProfileRequest, 42);
+  std::istringstream is(ok);
+  BinaryReader r(is);
+  const MessageHeader h = read_header(r);
+  EXPECT_EQ(h.kind, MsgKind::kProfileRequest);
+  EXPECT_EQ(h.request_id, 42u);
+
+  std::string bad = ok;
+  bad[0] = 'X';  // corrupt the magic
+  std::istringstream bis(bad);
+  BinaryReader br(bis);
+  EXPECT_THROW(read_header(br), SerializeError);
+}
+
+TEST(ServiceProtocol, StatusTaxonomy) {
+  EXPECT_TRUE(is_rejection(Status::kOverQuota));
+  EXPECT_TRUE(is_rejection(Status::kQueueFull));
+  EXPECT_TRUE(is_rejection(Status::kShuttingDown));
+  EXPECT_FALSE(is_rejection(Status::kOk));
+  EXPECT_FALSE(is_rejection(Status::kBadRequest));
+  EXPECT_EQ(to_string(Status::kOverQuota), "over_quota");
+}
+
+// ---------------------------------------------------------------------------
+// Throughput-probing admission control, driven on synthetic saturation
+// curves (the probe is pure state, so these converge deterministically).
+
+/// Concave saturation curve with its knee at `knee`: linear gain up to the
+/// knee, then slight degradation (contention) past it.
+double synthetic_throughput(std::size_t level, std::size_t knee) {
+  const auto l = static_cast<double>(level);
+  const auto k = static_cast<double>(knee);
+  return level <= knee ? 10.0 * l : 10.0 * k - 0.5 * (l - k);
+}
+
+AdmissionConfig probe_config(std::size_t initial) {
+  AdmissionConfig cfg;
+  cfg.min_concurrency = 1;
+  cfg.max_concurrency = 16;
+  cfg.initial_concurrency = initial;
+  return cfg;
+}
+
+TEST(ThroughputProbe, ClimbsFromBelowToTheKnee) {
+  ThroughputProbe probe(probe_config(1));
+  for (int i = 0; i < 60; ++i) {
+    // Offered load far above capacity: tickets always exhausted.
+    probe.on_probe(synthetic_throughput(probe.concurrency(), 4), true);
+  }
+  EXPECT_EQ(probe.stable_concurrency(), 4u);
+  EXPECT_GE(probe.concurrency(), 3u);
+  EXPECT_LE(probe.concurrency(), 5u);
+}
+
+TEST(ThroughputProbe, WalksDownFromAboveTheKnee) {
+  // Over-provisioned start under sustained saturation: the failed-up-probe
+  // → down-probe chain must walk the level back to the knee even though
+  // tickets are exhausted every single window.
+  ThroughputProbe probe(probe_config(16));
+  for (int i = 0; i < 120; ++i) {
+    probe.on_probe(synthetic_throughput(probe.concurrency(), 4), true);
+  }
+  EXPECT_EQ(probe.stable_concurrency(), 4u);
+}
+
+TEST(ThroughputProbe, HoldsTheKneeOnceFound) {
+  ThroughputProbe probe(probe_config(4));
+  for (int i = 0; i < 200; ++i) {
+    probe.on_probe(synthetic_throughput(probe.concurrency(), 4), true);
+    // Probe excursions are one step around the stable point, never a drift.
+    EXPECT_GE(probe.concurrency(), 3u);
+    EXPECT_LE(probe.concurrency(), 5u);
+    EXPECT_EQ(probe.stable_concurrency(), 4u);
+  }
+  EXPECT_EQ(probe.probes(), 200u);
+}
+
+TEST(ThroughputProbe, IdleAndGarbageInputsAreSafe) {
+  ThroughputProbe probe(probe_config(2));
+  probe.on_probe(std::nan(""), false);
+  probe.on_probe(-5.0, true);
+  for (int i = 0; i < 20; ++i) probe.on_probe(0.0, false);
+  EXPECT_GE(probe.concurrency(), 1u);
+  EXPECT_LE(probe.concurrency(), 16u);
+  EXPECT_EQ(probe.stable_concurrency(), probe.concurrency());
+}
+
+TEST(ThroughputProbe, RespectsConfiguredBounds) {
+  AdmissionConfig cfg = probe_config(1);
+  cfg.max_concurrency = 3;
+  ThroughputProbe probe(cfg);
+  for (int i = 0; i < 50; ++i) {
+    // Monotonically improving curve: wants to climb forever, capped at 3.
+    probe.on_probe(10.0 * static_cast<double>(probe.concurrency()), true);
+    EXPECT_LE(probe.concurrency(), 3u);
+    EXPECT_GE(probe.concurrency(), 1u);
+  }
+  EXPECT_EQ(probe.stable_concurrency(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// In-process server over a real Unix socket.
+
+TEST(ServiceServer, HelloStatsAndUnknownWorkload) {
+  ScratchDir dir;
+  ServiceServer server(small_service(dir));
+  server.start();
+
+  ServiceClient client(server.config().socket_path);
+  const StatsResult st = client.stats();
+  EXPECT_EQ(st.completed, 0u);
+  EXPECT_EQ(st.admission_level, 2u);
+
+  ProfileRequest q;
+  q.workload = "no_such_workload";
+  const auto reply = client.profile(q);
+  EXPECT_EQ(reply.status, Status::kUnknownWorkload);
+  EXPECT_FALSE(reply.message.empty());
+
+  server.request_stop();
+  server.wait();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(ServiceServer, ProfileBitIdenticalToDirectLab) {
+  ScratchDir dir;
+  ServiceConfig cfg = small_service(dir);
+  ServiceServer server(cfg);
+  server.start();
+
+  ProfileRequest q;
+  q.workload = "grep_sp";
+  q.seed = 42;
+  q.sample_n = 8;
+  q.want_profile_bytes = 1;
+  ServiceClient client(cfg.socket_path);
+  const auto reply = client.profile(q);
+  ASSERT_EQ(reply.status, Status::kOk) << reply.message;
+  server.request_stop();
+  server.wait();
+
+  // One-shot reference in a separate cache dir so nothing is shared.
+  ScratchDir ref_dir;
+  core::LabConfig lc = cfg.lab;
+  lc.scale = q.scale;
+  lc.seed = q.seed;
+  lc.cache_dir = ref_dir.str() + "/cache";
+  lc.threads = 1;
+  core::WorkloadLab lab(lc);
+  const core::LabRun run = lab.run(q.workload, q.input);
+  std::ostringstream os;
+  run.profile.save(os);
+  EXPECT_EQ(reply.result.profile_bytes, os.str());
+  EXPECT_EQ(reply.result.units, run.profile.num_units());
+  EXPECT_EQ(reply.result.oracle_cpi, run.profile.oracle_cpi());
+
+  // The analysis riding on the profile matches the library path exactly.
+  core::PhaseFormationConfig fc;
+  fc.threads = 1;
+  const core::PhaseModel model = core::form_phases(run.profile, fc);
+  EXPECT_EQ(reply.result.phase_count, model.k);
+  const auto n =
+      std::min<std::size_t>(q.sample_n, run.profile.num_units());
+  const core::SamplePlan plan =
+      core::simprof_sample(run.profile, model, n, q.seed);
+  EXPECT_EQ(reply.result.estimated_cpi, plan.estimated_cpi);
+  EXPECT_EQ(reply.result.standard_error, plan.standard_error);
+  ASSERT_EQ(reply.result.selected_units.size(), plan.points.size());
+  for (std::size_t i = 0; i < plan.points.size(); ++i) {
+    EXPECT_EQ(reply.result.selected_units[i],
+              run.profile.units[plan.points[i].unit_index].unit_id);
+    EXPECT_EQ(reply.result.weights[i], plan.points[i].weight);
+  }
+}
+
+TEST(ServiceServer, ConcurrentSameConfigClientsShareOneOraclePass) {
+  ScratchDir dir;
+  ServiceConfig cfg = small_service(dir);
+  // All four clients dispatch concurrently: fixed tickets = worker count.
+  cfg.fixed_concurrency = true;
+  cfg.admission.initial_concurrency = 4;
+  cfg.admission.max_concurrency = 4;
+  ServiceServer server(cfg);
+  server.start();
+
+  const std::uint64_t misses0 = counter_value("lab.cache_misses");
+  const std::uint64_t shared0 =
+      counter_value("lab.batch_dedup") + counter_value("lab.cache_hits");
+
+  constexpr std::size_t kClients = 4;
+  std::vector<ServiceClient::ProfileReply> replies(kClients);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      ProfileRequest q;
+      q.workload = "grep_sp";
+      q.want_profile_bytes = 1;
+      ServiceClient client(cfg.socket_path);
+      replies[i] = client.profile(q);
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.request_stop();
+  server.wait();
+
+  for (std::size_t i = 0; i < kClients; ++i) {
+    ASSERT_EQ(replies[i].status, Status::kOk) << replies[i].message;
+    EXPECT_EQ(replies[i].result.profile_bytes, replies[0].result.profile_bytes)
+        << "client " << i << " got a different profile";
+  }
+  // Exactly one oracle pass ran; every other client shared it, either by
+  // waiting on the single-flight (lab.batch_dedup) or by hitting the cache
+  // the runner published (lab.cache_hits — run_batch's cache-aware
+  // scheduling can probe the cache more than once per request, so ≥).
+  EXPECT_EQ(counter_value("lab.cache_misses") - misses0, 1u);
+  EXPECT_GE(counter_value("lab.batch_dedup") + counter_value("lab.cache_hits") -
+                shared0,
+            kClients - 1);
+  EXPECT_EQ(server.stats().completed, kClients);
+}
+
+TEST(ServiceServer, OverQuotaIsATypedRejectionNotAHang) {
+  ScratchDir dir;
+  ServiceConfig cfg = small_service(dir);
+  cfg.client_max_inflight = 1;
+  ServiceServer server(cfg);
+  server.start();
+
+  // A closed loop pushing 3 in-flight against a quota of 1: the overflow
+  // must come back as immediate kOverQuota responses, never hang.
+  LoadgenConfig lg;
+  lg.socket_path = cfg.socket_path;
+  lg.clients = 1;
+  lg.requests_per_client = 6;
+  lg.inflight_per_client = 3;
+  const LoadgenReport report = run_loadgen(lg);
+  server.request_stop();
+  server.wait();
+
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.completed + report.rejected, 6u);
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_GT(report.rejected, 0u);
+  EXPECT_EQ(server.stats().rejected_quota, report.rejected);
+}
+
+TEST(ServiceServer, FullQueueIsATypedRejection) {
+  ScratchDir dir;
+  ServiceConfig cfg = small_service(dir);
+  cfg.max_queue = 0;  // nothing fits: every request is rejected typed
+  ServiceServer server(cfg);
+  server.start();
+
+  ProfileRequest q;
+  q.workload = "grep_sp";
+  ServiceClient client(cfg.socket_path);
+  const auto reply = client.profile(q);
+  EXPECT_EQ(reply.status, Status::kQueueFull);
+  server.request_stop();
+  server.wait();
+  EXPECT_EQ(server.stats().rejected_queue_full, 1u);
+}
+
+TEST(ServiceServer, StreamingProfileSendsInterimSelections) {
+  ScratchDir dir;
+  ServiceConfig cfg = small_service(dir);
+  cfg.stream_retain_cap = 12;  // per-client memory quota, below the 18 units
+  ServiceServer server(cfg);
+  server.start();
+
+  ProfileRequest q;
+  q.workload = "grep_sp";
+  q.stream = 1;
+  q.stream_retain = 64;  // asks high; the server clamps to its cap
+  q.sample_n = 4;
+  std::vector<StreamUpdate> updates;
+  ServiceClient client(cfg.socket_path);
+  const auto reply = client.profile(
+      q, [&](const StreamUpdate& u) { updates.push_back(u); });
+  server.request_stop();
+  server.wait();
+
+  ASSERT_EQ(reply.status, Status::kOk) << reply.message;
+  EXPECT_GE(reply.result.phase_count, 1u);
+  ASSERT_FALSE(updates.empty());  // 18 units > 16-unit warmup → ≥1 recluster
+  for (const StreamUpdate& u : updates) {
+    EXPECT_LE(u.units_retained, 12u) << "retention quota exceeded";
+    EXPECT_GE(u.phase_count, 1u);
+  }
+  EXPECT_EQ(server.stats().stream_updates, updates.size());
+}
+
+TEST(ServiceServer, GracefulDrainFinishesInFlightAndRejectsNew) {
+  ScratchDir dir;
+  ServiceConfig cfg = small_service(dir);
+  ServiceServer server(cfg);
+  server.start();
+
+  // Raw frames so request B can be sent while A is still in flight.
+  const int fd = connect_unix(cfg.socket_path);
+  ProfileRequest q;
+  q.workload = "grep_sp";
+  ASSERT_TRUE(write_frame(
+      fd, pack_message(MsgKind::kProfileRequest, 1,
+                       [&](BinaryWriter& w) { q.write(w); })));
+  // Let A get admitted (a cold oracle pass holds it in flight for a while),
+  // then start the drain and submit B.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.request_stop();
+  ASSERT_TRUE(write_frame(
+      fd, pack_message(MsgKind::kProfileRequest, 2,
+                       [&](BinaryWriter& w) { q.write(w); })));
+
+  Status status_a = Status::kInternalError;
+  Status status_b = Status::kInternalError;
+  std::string payload;
+  int answered = 0;
+  while (answered < 2 && read_frame(fd, payload)) {
+    std::istringstream is(payload);
+    BinaryReader r(is);
+    const MessageHeader h = read_header(r);
+    if (h.kind != MsgKind::kResponse) continue;
+    const auto status = static_cast<Status>(r.u32());
+    if (h.request_id == 1) status_a = status;
+    if (h.request_id == 2) status_b = status;
+    ++answered;
+  }
+  ::close(fd);
+  server.wait();
+
+  EXPECT_EQ(status_a, Status::kOk);  // in-flight work drains to completion
+  EXPECT_EQ(status_b, Status::kShuttingDown);
+  EXPECT_EQ(server.stats().completed, 1u);
+  EXPECT_EQ(server.stats().rejected_shutdown, 1u);
+  // The socket file is gone after wait() — a restart can bind cleanly.
+  EXPECT_FALSE(std::filesystem::exists(cfg.socket_path));
+}
+
+TEST(ServiceServer, MeasureAndSensitivityVerbsWork) {
+  ScratchDir dir;
+  ServiceConfig cfg = small_service(dir);
+  ServiceServer server(cfg);
+  server.start();
+  ServiceClient client(cfg.socket_path);
+
+  // Profile first so the cache and checkpoint archives exist.
+  ProfileRequest pq;
+  pq.workload = "grep_sp";
+  const auto pr = client.profile(pq);
+  ASSERT_EQ(pr.status, Status::kOk) << pr.message;
+  ASSERT_GE(pr.result.selected_units.size(), 2u);
+
+  MeasureRequest mq;
+  mq.workload = "grep_sp";
+  mq.units = {pr.result.selected_units[0], pr.result.selected_units[1]};
+  const auto mr = client.measure(mq);
+  ASSERT_EQ(mr.status, Status::kOk) << mr.message;
+  EXPECT_EQ(mr.result.unit_ids.size(), 2u);
+
+  SensitivityRequest sq;
+  sq.workload = "grep_sp";
+  sq.references = {"wc_sp"};
+  const auto sr = client.sensitivity(sq);
+  ASSERT_EQ(sr.status, Status::kOk) << sr.message;
+  EXPECT_GE(sr.result.phases, 1u);
+
+  server.request_stop();
+  server.wait();
+  EXPECT_EQ(server.stats().completed, 3u);
+  EXPECT_EQ(server.stats().errors, 0u);
+}
+
+}  // namespace
+}  // namespace simprof::service

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "support/thread_pool.h"
@@ -111,6 +112,58 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
                       });
   });
   EXPECT_EQ(inner_total.load(), 200u);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallersQueueInsteadOfFaulting) {
+  // The service daemon's request workers all share the process-wide pool;
+  // top-level parallel_for calls arriving while a job is in flight must
+  // queue behind it (previously a contract violation) and each still cover
+  // its own range exactly once.
+  ThreadPool pool(2);
+  constexpr std::size_t kCallers = 6;
+  constexpr std::size_t kN = 2000;
+  std::vector<std::atomic<int>> hits(kCallers * kN);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.parallel_for(0, kN, 37,
+                        [&](std::size_t, std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) {
+                            hits[c * kN + i].fetch_add(1);
+                          }
+                        });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, QueuedCallerSurvivesPredecessorException) {
+  // A throwing job must not wedge the queue: the waiter behind it still
+  // runs to completion.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> covered{0};
+  std::thread thrower([&] {
+    try {
+      pool.parallel_for(0, 400, 3,
+                        [&](std::size_t c, std::size_t, std::size_t) {
+                          if (c == 5) throw std::runtime_error("boom");
+                        });
+    } catch (const std::runtime_error&) {
+    }
+  });
+  std::thread waiter([&] {
+    pool.parallel_for(0, 400, 3,
+                      [&](std::size_t, std::size_t b, std::size_t e) {
+                        covered.fetch_add(e - b);
+                      });
+  });
+  thrower.join();
+  waiter.join();
+  EXPECT_EQ(covered.load(), 400u);
 }
 
 TEST(ThreadPool, OrderedReductionBitIdenticalAcrossThreadCounts) {

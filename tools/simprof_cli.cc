@@ -12,6 +12,8 @@
 //                   [--units LIST | -n N]
 //   simprof verify  [--cases N] [--seed N] [--resamples N] [--skip-lab]
 //   simprof report  <base.json> <new.json> | <manifest-dir>
+//   simprof serve   --socket PATH [--tickets-max N] [--fixed] ...
+//   simprof loadgen --socket PATH [--clients N] [--requests N] ...
 //   simprof --version
 //
 // Global flags (any subcommand):
@@ -47,13 +49,19 @@
 // thread profile; the analysis subcommands operate on saved profiles, so a
 // profile collected once can be explored offline — the same split as the
 // real tool's agent/analyzer.
+#include <pthread.h>
+
+#include <atomic>
 #include <cctype>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/checkpoint.h"
@@ -64,6 +72,8 @@
 #include "core/streaming.h"
 #include "data/catalog.h"
 #include "obs/obs.h"
+#include "service/loadgen.h"
+#include "service/server.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
 #include "verify/fault_inject.h"
@@ -170,6 +180,50 @@ const std::vector<CommandSpec> kCommands = {
       {"seed", "N", "verification seed (default 1)"},
       {"resamples", "N", "CI-coverage resamples (default 10000)"},
       {"skip-lab", "", "skip the on-disk lab-cache recovery drill"}}},
+    {"serve",
+     "",
+     "run the resident profiling daemon on a Unix socket: shared lab "
+     "cache, request queue, per-client quotas and throughput-probing "
+     "admission control (SIGINT/SIGTERM drains and exits cleanly)",
+     {{"socket", "PATH", "Unix-domain socket path to listen on (required)"},
+      {"max-queue", "N", "request queue capacity (default 64)"},
+      {"client-inflight", "N",
+       "per-connection in-flight request quota (default 8)"},
+      {"tickets", "N", "initial admitted concurrency (default 2)"},
+      {"tickets-min", "N", "admission floor (default 1)"},
+      {"tickets-max", "N", "admission ceiling / worker count (default 16)"},
+      {"fixed", "",
+       "pin concurrency to --tickets instead of throughput probing"},
+      {"probe-interval-ms", "MS", "probe window length (default 200)"},
+      {"stream-retain-cap", "N",
+       "hard cap on a streaming request's retained units — the per-client "
+       "memory quota (default 0 = uncapped)"},
+      {"request-threads", "N",
+       "threads each request's lab/analysis may use (default 1; "
+       "concurrency comes from admission tickets)"}}},
+    {"loadgen",
+     "",
+     "closed-loop load generator against a running daemon; prints QPS, "
+     "latency quantiles and typed rejection counts",
+     {{"socket", "PATH", "daemon socket path (required)"},
+      {"clients", "N", "concurrent connections (default 4)"},
+      {"requests", "N", "requests per connection (default 8)"},
+      {"inflight", "N",
+       "pipelined requests per connection (default 1; set above the "
+       "daemon's --client-inflight to exercise typed rejections)"},
+      {"workloads", "LIST",
+       "comma-separated workload mix (default grep_sp)"},
+      {"input", "NAME", "Table II graph input (default Google)"},
+      {"scale", "S", "workload scale factor (default 0.05)"},
+      {"seed", "N", "simulation seed (default 42)"},
+      {"vary-seed", "",
+       "use seed+i per request so each request is a distinct oracle pass"},
+      {"no-analyze", "", "skip phase formation + sampling on the daemon"},
+      {"sample", "N", "simulation points per request (default 8)"},
+      {"stream", "", "request streaming analysis with interim selections"},
+      {"stream-retain", "N",
+       "requested streaming retention cap in units (default 0)"},
+      {"json", "FILE", "write the loadgen report as JSON"}}},
     {"report",
      "<base.json> <new.json> | <manifest-dir>",
      "diff two run manifests (or gate the newest of a directory) and flag "
@@ -810,9 +864,18 @@ class ObsFlags {
     return true;
   }
 
-  void set_exit_code(int code) { obs::ledger().set_exit_code(code); }
+  void set_exit_code(int code) {
+    exit_code_ = code;
+    obs::ledger().set_exit_code(code);
+  }
 
-  ~ObsFlags() {
+  /// Flush every requested output exactly once: trace, metrics snapshot and
+  /// the run manifest. Runs on the normal exit path (destructor) and from
+  /// the signal watcher before a forced exit — an interrupt no longer loses
+  /// the run ledger entry.
+  void flush(int exit_code) {
+    if (flushed_.exchange(true)) return;
+    obs::ledger().set_exit_code(exit_code);
     if (heartbeat_) obs::stop_heartbeat();
     if (obs::trace_enabled()) obs::stop_tracing();
     if (!trace_out_.empty()) {
@@ -827,11 +890,203 @@ class ObsFlags {
     obs::ledger().write();
   }
 
+  ~ObsFlags() { flush(exit_code_); }
+
  private:
   std::string metrics_out_;
   std::string trace_out_;
   bool heartbeat_ = false;
+  std::atomic<bool> flushed_{false};
+  int exit_code_ = 2;
 };
+
+/// The running `serve` daemon, if any — the signal watcher routes the first
+/// SIGINT/SIGTERM to its graceful drain instead of exiting.
+std::atomic<simprof::service::ServiceServer*> g_serve_instance{nullptr};
+sigset_t g_watched_signals;
+
+/// Block SIGINT/SIGTERM for the whole process. Must run before any thread
+/// is spawned so every thread inherits the mask and delivery is funnelled
+/// to the watcher's sigwait.
+void block_termination_signals() {
+  sigemptyset(&g_watched_signals);
+  sigaddset(&g_watched_signals, SIGINT);
+  sigaddset(&g_watched_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &g_watched_signals, nullptr);
+}
+
+/// Watcher thread: sigwait for SIGINT/SIGTERM on a normal thread so the
+/// response can do real work (I/O, locks) instead of being confined to
+/// async-signal-safe calls. First signal: graceful — a running daemon
+/// drains and the command returns 0 through the normal path; a one-shot
+/// verb flushes manifests/metrics/trace and exits 128+sig (the distinct
+/// interrupted exit code). Second signal: force-exit immediately.
+void start_signal_watcher(ObsFlags* obs_flags) {
+  std::thread([obs_flags] {
+    int signals_seen = 0;
+    for (;;) {
+      int sig = 0;
+      if (sigwait(&g_watched_signals, &sig) != 0) continue;
+      ++signals_seen;
+      if (auto* server = g_serve_instance.load(std::memory_order_acquire);
+          server != nullptr && signals_seen == 1) {
+        std::cerr << "\nsimprof: caught " << strsignal(sig)
+                  << ", draining in-flight requests (signal again to force "
+                     "exit)\n";
+        server->request_stop();
+        continue;
+      }
+      std::cerr << "\nsimprof: caught " << strsignal(sig)
+                << ", flushing observability outputs\n";
+      obs_flags->flush(128 + sig);
+      std::_Exit(128 + sig);
+    }
+  }).detach();
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(tok);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_serve(const Args& args) {
+  service::ServiceConfig cfg;
+  cfg.socket_path = args.opt("socket", "");
+  if (cfg.socket_path.empty()) {
+    std::cerr << "error: `simprof serve` needs --socket PATH\n";
+    return 2;
+  }
+  if (!apply_checkpoint_flags(args, cfg.lab)) return 2;
+  try {
+    cfg.max_queue = std::stoull(args.opt("max-queue", "64"));
+    cfg.client_max_inflight = std::stoull(args.opt("client-inflight", "8"));
+    cfg.admission.initial_concurrency = std::stoull(args.opt("tickets", "2"));
+    cfg.admission.min_concurrency = std::stoull(args.opt("tickets-min", "1"));
+    cfg.admission.max_concurrency = std::stoull(args.opt("tickets-max", "16"));
+    cfg.admission.probe_interval_ms = static_cast<std::uint32_t>(
+        std::stoul(args.opt("probe-interval-ms", "200")));
+    cfg.stream_retain_cap = std::stoull(args.opt("stream-retain-cap", "0"));
+    cfg.request_threads = std::stoull(args.opt("request-threads", "1"));
+  } catch (const std::exception&) {
+    std::cerr << "error: serve flags expect non-negative integers\n";
+    return 2;
+  }
+  cfg.fixed_concurrency = args.has("fixed");
+
+  obs::ledger().set_config("socket", cfg.socket_path);
+  obs::ledger().set_config("tickets_max",
+                           std::to_string(cfg.admission.max_concurrency));
+  obs::ledger().set_config("admission",
+                           cfg.fixed_concurrency ? "fixed" : "probing");
+
+  service::ServiceServer server(cfg);
+  server.start();
+  g_serve_instance.store(&server, std::memory_order_release);
+  std::cout << "serving on " << cfg.socket_path
+            << " (tickets " << cfg.admission.min_concurrency << ".."
+            << cfg.admission.max_concurrency << ", "
+            << (cfg.fixed_concurrency ? "fixed" : "probing")
+            << "; SIGINT/SIGTERM drains and exits)\n"
+            << std::flush;
+  server.wait();  // blocks until the signal watcher requests the drain
+  g_serve_instance.store(nullptr, std::memory_order_release);
+
+  const service::ServerStats stats = server.stats();
+  obs::ledger().set_quality("service_requests",
+                            static_cast<double>(stats.completed));
+  obs::ledger().set_quality(
+      "service_qps", stats.uptime_sec > 0.0
+                         ? static_cast<double>(stats.completed) /
+                               stats.uptime_sec
+                         : 0.0);
+  auto& request_ms = obs::metrics().quantile_histogram("svc.request_ms");
+  obs::ledger().set_quality("service_p50_ms", request_ms.quantile(0.50));
+  obs::ledger().set_quality("service_p99_ms", request_ms.quantile(0.99));
+  obs::ledger().set_quality("service_admission_level",
+                            static_cast<double>(stats.admission_level));
+  std::cout << "served " << stats.completed << " requests ("
+            << stats.rejected << " rejected, " << stats.errors
+            << " errors) in " << Table::num(stats.uptime_sec, 1)
+            << "s; final admission level " << stats.admission_level << '\n';
+  return 0;
+}
+
+int cmd_loadgen(const Args& args) {
+  service::LoadgenConfig cfg;
+  cfg.socket_path = args.opt("socket", "");
+  if (cfg.socket_path.empty()) {
+    std::cerr << "error: `simprof loadgen` needs --socket PATH\n";
+    return 2;
+  }
+  try {
+    cfg.clients = std::stoull(args.opt("clients", "4"));
+    cfg.requests_per_client = std::stoull(args.opt("requests", "8"));
+    cfg.inflight_per_client = std::stoull(args.opt("inflight", "1"));
+    cfg.scale = std::stod(args.opt("scale", "0.05"));
+    cfg.seed = std::stoull(args.opt("seed", "42"));
+    cfg.sample_n = std::stoull(args.opt("sample", "8"));
+    cfg.stream_retain = std::stoull(args.opt("stream-retain", "0"));
+  } catch (const std::exception&) {
+    std::cerr << "error: loadgen flags expect numbers\n";
+    return 2;
+  }
+  cfg.workloads = split_csv(args.opt("workloads", "grep_sp"));
+  if (cfg.workloads.empty()) {
+    std::cerr << "error: --workloads needs at least one name\n";
+    return 2;
+  }
+  cfg.input = args.opt("input", "Google");
+  cfg.analyze = !args.has("no-analyze");
+  cfg.stream = args.has("stream");
+  cfg.vary_seed = args.has("vary-seed");
+
+  const service::LoadgenReport report = service::run_loadgen(cfg);
+
+  obs::ledger().set_config("socket", cfg.socket_path);
+  obs::ledger().set_config("clients", std::to_string(cfg.clients));
+  obs::ledger().set_config("inflight", std::to_string(cfg.inflight_per_client));
+  obs::ledger().set_quality("loadgen_completed",
+                            static_cast<double>(report.completed));
+  obs::ledger().set_quality("loadgen_rejected",
+                            static_cast<double>(report.rejected));
+  obs::ledger().set_quality("loadgen_qps", report.qps);
+  obs::ledger().set_quality("loadgen_p50_ms", report.p50_ms);
+  obs::ledger().set_quality("loadgen_p99_ms", report.p99_ms);
+
+  std::cout << "offered " << cfg.clients << " clients x "
+            << cfg.requests_per_client << " requests (inflight "
+            << cfg.inflight_per_client << ")\n"
+            << "completed " << report.completed << ", rejected "
+            << report.rejected << ", errors " << report.errors
+            << ", stream updates " << report.stream_updates << '\n'
+            << "qps " << Table::num(report.qps, 2) << ", p50 "
+            << Table::num(report.p50_ms, 1) << "ms, p90 "
+            << Table::num(report.p90_ms, 1) << "ms, p99 "
+            << Table::num(report.p99_ms, 1) << "ms\n";
+
+  if (const std::string f = args.opt("json", ""); !f.empty()) {
+    std::ofstream out(f, std::ios::trunc);
+    out << "{\n  \"completed\": " << report.completed
+        << ",\n  \"rejected\": " << report.rejected
+        << ",\n  \"errors\": " << report.errors
+        << ",\n  \"stream_updates\": " << report.stream_updates
+        << ",\n  \"elapsed_sec\": " << report.elapsed_sec
+        << ",\n  \"qps\": " << report.qps
+        << ",\n  \"p50_ms\": " << report.p50_ms
+        << ",\n  \"p90_ms\": " << report.p90_ms
+        << ",\n  \"p99_ms\": " << report.p99_ms << "\n}\n";
+  }
+  return report.errors > 0 ? 1 : 0;
+}
 
 }  // namespace
 
@@ -872,6 +1127,11 @@ int main(int argc, char** argv) {
 
   ObsFlags obs_flags;
   if (!obs_flags.apply(args, cmd->name, argc, argv)) return 2;
+  // Signals are blocked before any thread exists (so workers inherit the
+  // mask) and handled by a dedicated watcher: graceful daemon drain on the
+  // first SIGINT/SIGTERM, flush-then-exit(128+sig) otherwise.
+  block_termination_signals();
+  start_signal_watcher(&obs_flags);
   int rc = 2;
   try {
     // Global: --threads N caps the phase-formation thread pool for every
@@ -895,6 +1155,8 @@ int main(int argc, char** argv) {
     else if (cmd->name == "measure") rc = cmd_measure(args);
     else if (cmd->name == "verify") rc = cmd_verify(args);
     else if (cmd->name == "report") rc = cmd_report(args);
+    else if (cmd->name == "serve") rc = cmd_serve(args);
+    else if (cmd->name == "loadgen") rc = cmd_loadgen(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     rc = 1;
