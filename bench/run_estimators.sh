@@ -1,0 +1,59 @@
+#!/bin/sh
+# Refresh BENCH_estimators.json — the feature-mode × estimator accuracy grid.
+#
+# Runs perf_estimators: mean CPI sampling error at the Fig. 7 sample size
+# for every cell of {freq, mav, combined} features × {Neyman, two-phase}
+# estimators over the twelve paper configurations, seed-averaged. The bench
+# exits non-zero unless the combined feature mode beats freq (same
+# estimator) on at least one configuration — the MAV payoff criterion.
+#
+# The manifest carries sampling_error_frac (freq/Neyman baseline),
+# mav_sampling_error_frac (combined/Neyman) and two_phase_ci_rel_width
+# (combined/two-phase) as quality figures, so `simprof report` gates
+# regressions against previous runs. The fold step appends the sample.*
+# counter snapshot under "simprof_metrics" and stamps build provenance.
+#
+# Usage: bench/run_estimators.sh [perf_estimators flags]
+set -e
+cd "$(dirname "$0")/.."
+. bench/bench_prelude.sh
+bench_build perf_estimators
+
+metrics_tmp=$(mktemp)
+trap 'rm -f "$metrics_tmp"' EXIT
+
+"$BENCH_BUILD_DIR"/bench/perf_estimators \
+  --log-level warn \
+  --metrics-out "$metrics_tmp" \
+  --manifest-out MANIFEST_estimators.json \
+  --out BENCH_estimators.json \
+  "$@"
+
+python3 - "$metrics_tmp" <<'EOF'
+import json, os, sys
+
+with open("BENCH_estimators.json") as f:
+    bench = json.load(f)
+with open(sys.argv[1]) as f:
+    metrics = json.load(f)
+
+counters = metrics.get("counters", {})
+fold = {
+    "sample": {k.split(".", 1)[1]: v for k, v in counters.items()
+               if k.startswith("sample.")},
+}
+
+bench["build_type"] = os.environ.get("SIMPROF_BUILD_TYPE", "unknown")
+bench["git_sha"] = os.environ.get("SIMPROF_GIT_SHA", "unknown")
+bench["simprof_metrics"] = fold
+with open("BENCH_estimators.json", "w") as f:
+    json.dump(bench, f, indent=1)
+    f.write("\n")
+
+avg = bench["averages"]
+print("folded metrics snapshot into BENCH_estimators.json")
+print("avg error  freq|neyman:", round(avg["freq|neyman"], 4),
+      " combined|neyman:", round(avg["combined|neyman"], 4),
+      " combined|two-phase:", round(avg["combined|two-phase"], 4))
+print("combined_beats_freq_cells:", bench["combined_beats_freq_cells"])
+EOF

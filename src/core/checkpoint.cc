@@ -391,11 +391,13 @@ void UnitRecordCollector::on_snapshot(std::span<const jvm::MethodId> stack) {
   for (const jvm::MethodId m : stack) ++current_histogram_[m];
 }
 
-void UnitRecordCollector::on_unit_boundary(const hw::PmuCounters& delta) {
+void UnitRecordCollector::on_unit_boundary(const hw::PmuCounters& delta,
+                                           const hw::MavBlock& mav) {
   if (is_target(current_unit_)) {
     UnitRecord u;
     u.unit_id = current_unit_;
     u.counters = delta;
+    u.mav = mav;
     // Deterministic order: sorted by method id (mirrors SamplingManager).
     std::vector<std::pair<jvm::MethodId, std::uint32_t>> entries(
         current_histogram_.begin(), current_histogram_.end());
@@ -529,7 +531,8 @@ void CheckpointReplayer::replay(const exec::ClusterConfig& cc) {
       if (ip / cc.unit_instrs == t &&
           ip % cc.unit_instrs >= cc.snapshot_interval) {
         on_unit_boundary(
-            ctx.counters().delta_since(ctx.capture_state().unit_start_counters));
+            ctx.counters().delta_since(ctx.capture_state().unit_start_counters),
+            ctx.unit_mav());
       } else if (available_.back() > loaded_unit) {
         throw CheckpointError("op tape in archive for unit " +
                               std::to_string(loaded_unit) +

@@ -142,7 +142,8 @@ class UnitRecordCollector : public exec::ProfilingHook {
   explicit UnitRecordCollector(std::vector<std::uint64_t> target_units);
 
   void on_snapshot(std::span<const jvm::MethodId> stack) override;
-  void on_unit_boundary(const hw::PmuCounters& delta) override;
+  void on_unit_boundary(const hw::PmuCounters& delta,
+                        const hw::MavBlock& mav) override;
 
   /// Collected records for the target units, in ascending unit order.
   std::vector<UnitRecord> take_records();

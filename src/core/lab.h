@@ -22,10 +22,10 @@
 namespace simprof::core {
 
 /// Cache schema version: part of every cache key and checkpoint directory
-/// name ("…-v5"); bump to invalidate cached runs. Schema 5: access streams
-/// switched to counter-based per-stream seeds (hw/access_stream.cc), which
-/// changes the simulated traffic of cached profiles recorded under schema 4.
-inline constexpr std::uint32_t kLabCacheSchema = 5;
+/// name ("…-v6"); bump to invalidate cached runs. Schema 6: profiles gained
+/// per-unit memory-access vectors (profile format "SPRF" v4), so profiles
+/// cached under schema 5 no longer decode.
+inline constexpr std::uint32_t kLabCacheSchema = 6;
 
 /// Delete checkpoint archive directories under `root` whose name carries a
 /// stale schema suffix ("-v<digits>" with digits != kLabCacheSchema) — the

@@ -12,15 +12,93 @@
 #include "support/thread_pool.h"
 
 namespace simprof::core {
+namespace {
 
-stats::Matrix build_feature_matrix(const ThreadProfile& profile) {
-  stats::Matrix m(profile.num_units(), profile.num_methods());
-  for (std::size_t u = 0; u < profile.num_units(); ++u) {
-    const UnitRecord& rec = profile.units[u];
+constexpr std::size_t kNoFeature = static_cast<std::size_t>(-1);
+
+/// Model feature space decomposed for classification: method features are
+/// matched by name (the stable identity across profiles with different
+/// method tables), MAV features by their fixed column index.
+struct FeatureMaps {
+  std::unordered_map<std::string_view, std::size_t> method_of;
+  std::array<std::size_t, hw::kMavDim> mav_of{};
+
+  explicit FeatureMaps(const PhaseModel& model) {
+    mav_of.fill(kNoFeature);
+    method_of.reserve(model.feature_names.size());
+    for (std::size_t f = 0; f < model.feature_names.size(); ++f) {
+      if (model.feature_mode != features::FeatureMode::kFreq) {
+        if (auto mc = features::mav_feature_index(model.feature_names[f])) {
+          mav_of[*mc] = f;
+          continue;
+        }
+      }
+      method_of.emplace(model.feature_names[f], f);
+    }
+  }
+};
+
+/// Accumulate one unit's raw per-entry feature values into `v` (sized to the
+/// model's feature space) and L1-normalize over the touched features — the
+/// same per-entry values unit_feature_entries stores, restricted to the
+/// selection, which is what makes classification agree with training in
+/// every mode (L1 normalization commutes with column selection).
+void accumulate_unit(const PhaseModel& model, const ThreadProfile& profile,
+                     const UnitRecord& rec, const FeatureMaps& maps,
+                     std::span<double> v,
+                     std::vector<std::uint32_t>& cols_scratch,
+                     std::vector<double>& vals_scratch) {
+  const auto mode = model.feature_mode;
+  double sum = 0.0;
+  if (mode != features::FeatureMode::kMav) {
+    double total = 0.0;
+    if (mode == features::FeatureMode::kCombined) {
+      for (const std::uint32_t c : rec.counts) {
+        total += static_cast<double>(c);
+      }
+    }
     for (std::size_t i = 0; i < rec.methods.size(); ++i) {
-      SIMPROF_EXPECTS(rec.methods[i] < profile.num_methods(),
-                      "method id outside profile table");
-      m.at(u, rec.methods[i]) = static_cast<double>(rec.counts[i]);
+      const auto& name = profile.method_names[rec.methods[i]];
+      const auto it = maps.method_of.find(name);
+      if (it == maps.method_of.end()) continue;
+      double val = static_cast<double>(rec.counts[i]);
+      if (mode == features::FeatureMode::kCombined) {
+        if (total <= 0.0) continue;
+        val /= total;
+      }
+      v[it->second] += val;
+      sum += val;
+    }
+  }
+  if (mode != features::FeatureMode::kFreq) {
+    cols_scratch.clear();
+    vals_scratch.clear();
+    features::append_mav_entries(rec.mav, 0, cols_scratch, vals_scratch);
+    for (std::size_t i = 0; i < cols_scratch.size(); ++i) {
+      const std::size_t f = maps.mav_of[cols_scratch[i]];
+      if (f == kNoFeature) continue;
+      v[f] += vals_scratch[i];
+      sum += vals_scratch[i];
+    }
+  }
+  if (sum > 0.0) {
+    for (double& x : v) x /= sum;
+  }
+}
+
+}  // namespace
+
+stats::Matrix build_feature_matrix(const ThreadProfile& profile,
+                                   features::FeatureMode mode) {
+  stats::Matrix m(profile.num_units(),
+                  features::feature_space_cols(mode, profile.num_methods()));
+  std::vector<std::uint32_t> cols;
+  std::vector<double> vals;
+  for (std::size_t u = 0; u < profile.num_units(); ++u) {
+    unit_feature_entries(profile.units[u], profile.num_methods(), cols, vals,
+                         mode);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      m.at(u, cols[i]) = vals[i];
     }
   }
   m.normalize_rows_l1();
@@ -29,13 +107,26 @@ stats::Matrix build_feature_matrix(const ThreadProfile& profile) {
 
 void unit_feature_entries(const UnitRecord& rec, std::size_t num_methods,
                           std::vector<std::uint32_t>& cols,
-                          std::vector<double>& vals) {
+                          std::vector<double>& vals,
+                          features::FeatureMode mode) {
+  cols.clear();
+  vals.clear();
+  // MAV entries first (fixed columns [0, kMavDim) under kMav/kCombined);
+  // method columns, when present, sit above them so the streaming former
+  // can grow the method space in place by appending at the end of the row.
+  if (mode != features::FeatureMode::kFreq) {
+    features::append_mav_entries(rec.mav, 0, cols, vals);
+    if (mode == features::FeatureMode::kMav) return;
+  }
+  const auto offset =
+      static_cast<std::uint32_t>(features::method_col_offset(mode));
   std::vector<std::pair<std::uint32_t, double>> entries;
   entries.reserve(rec.methods.size());
   for (std::size_t i = 0; i < rec.methods.size(); ++i) {
     SIMPROF_EXPECTS(rec.methods[i] < num_methods,
                     "method id outside profile table");
-    entries.emplace_back(rec.methods[i], static_cast<double>(rec.counts[i]));
+    entries.emplace_back(offset + rec.methods[i],
+                         static_cast<double>(rec.counts[i]));
   }
   // Collected records are sorted already; synthetic test profiles may not
   // be. Stable sort + last-entry-wins matches the dense builder's
@@ -44,24 +135,39 @@ void unit_feature_entries(const UnitRecord& rec, std::size_t num_methods,
                    [](const auto& a, const auto& b) {
                      return a.first < b.first;
                    });
-  cols.clear();
-  vals.clear();
+  const std::size_t method_begin = cols.size();
   for (const auto& [c, v] : entries) {
-    if (!cols.empty() && cols.back() == c) {
+    if (cols.size() > method_begin && cols.back() == c) {
       vals.back() = v;
     } else {
       cols.push_back(c);
       vals.push_back(v);
     }
   }
+  if (mode == features::FeatureMode::kCombined) {
+    // Scale the deduplicated method counts to count/total so the method
+    // block carries mass 1 per unit, like each MAV block — the same
+    // per-block balance the final L1 row normalization preserves.
+    double total = 0.0;
+    for (std::size_t i = method_begin; i < vals.size(); ++i) total += vals[i];
+    if (total > 0.0) {
+      for (std::size_t i = method_begin; i < vals.size(); ++i) {
+        vals[i] /= total;
+      }
+    }
+  }
 }
 
-stats::SparseMatrix build_sparse_feature_matrix(const ThreadProfile& profile) {
-  stats::SparseMatrix m(profile.num_units(), profile.num_methods());
+stats::SparseMatrix build_sparse_feature_matrix(const ThreadProfile& profile,
+                                                features::FeatureMode mode) {
+  stats::SparseMatrix m(
+      profile.num_units(),
+      features::feature_space_cols(mode, profile.num_methods()));
   std::vector<std::uint32_t> cols;
   std::vector<double> vals;
   for (std::size_t u = 0; u < profile.num_units(); ++u) {
-    unit_feature_entries(profile.units[u], profile.num_methods(), cols, vals);
+    unit_feature_entries(profile.units[u], profile.num_methods(), cols, vals,
+                         mode);
     m.append_row(cols, vals);
   }
   m.normalize_rows_l1();
@@ -74,7 +180,8 @@ PhaseModel form_phases(const ThreadProfile& profile,
   // 1. Vectorize call stacks in CSR form (full method space, row-normalized)
   // — built once per profile; the dense form only ever materializes for the
   // selected top-K columns.
-  const stats::SparseMatrix sparse = build_sparse_feature_matrix(profile);
+  const stats::SparseMatrix sparse =
+      build_sparse_feature_matrix(profile, cfg.features);
   return form_phases_from_sparse(profile, sparse, cfg);
 }
 
@@ -82,9 +189,11 @@ PhaseModel form_phases_from_sparse(const ThreadProfile& profile,
                                    const stats::SparseMatrix& sparse,
                                    const PhaseFormationConfig& cfg) {
   SIMPROF_EXPECTS(profile.num_units() > 0, "cannot form phases of nothing");
-  SIMPROF_EXPECTS(sparse.rows() == profile.num_units() &&
-                      sparse.cols() == profile.num_methods(),
-                  "feature matrix shape does not match profile");
+  SIMPROF_EXPECTS(
+      sparse.rows() == profile.num_units() &&
+          sparse.cols() == features::feature_space_cols(
+                               cfg.features, profile.num_methods()),
+      "feature matrix shape does not match profile/feature mode");
   obs::ObsSpan span("phase.form_phases", {{"units", profile.num_units()},
                                           {"methods", profile.num_methods()}});
   static obs::Counter& formations =
@@ -105,6 +214,7 @@ PhaseModel form_phases_from_sparse(const ThreadProfile& profile,
       stats::top_k_indices(scores, cfg.top_k_features);
 
   PhaseModel model;
+  model.feature_mode = cfg.features;
   if (selected.empty()) {
     // No method's frequency correlates with performance: the run is
     // performance-uniform and forms a single phase (grep in Figure 9).
@@ -132,9 +242,17 @@ PhaseModel form_phases_from_sparse(const ThreadProfile& profile,
   model.labels = std::move(chosen.clustering.labels);
   model.feature_names.reserve(selected.size());
   model.feature_kinds.reserve(selected.size());
+  const std::size_t offset = features::method_col_offset(cfg.features);
   for (std::size_t c : selected) {
-    model.feature_names.push_back(profile.method_names[c]);
-    model.feature_kinds.push_back(profile.method_kinds[c]);
+    if (cfg.features != features::FeatureMode::kFreq && c < hw::kMavDim) {
+      // MAV columns carry their canonical names; kFramework keeps them out
+      // of the operation-dominance phase typing, which is method-based.
+      model.feature_names.push_back(features::mav_feature_name(c));
+      model.feature_kinds.push_back(jvm::OpKind::kFramework);
+    } else {
+      model.feature_names.push_back(profile.method_names[c - offset]);
+      model.feature_kinds.push_back(profile.method_kinds[c - offset]);
+    }
   }
 
   // 4. Per-phase CPI statistics, then merge performance-equivalent phases:
@@ -172,58 +290,35 @@ std::vector<double> vectorize_unit(const PhaseModel& model,
                                    const ThreadProfile& profile,
                                    std::size_t unit_index) {
   SIMPROF_EXPECTS(unit_index < profile.num_units(), "unit out of range");
-  // Map model feature names to this profile's method ids once per call;
-  // callers classifying whole profiles should use classify_units (which
-  // hoists this map) — this entry point is for spot checks and tests.
-  std::unordered_map<std::string_view, std::size_t> feature_of;
-  for (std::size_t f = 0; f < model.feature_names.size(); ++f) {
-    feature_of.emplace(model.feature_names[f], f);
-  }
+  // Map model features to this profile once per call; callers classifying
+  // whole profiles should use vectorize_units (which hoists this map) —
+  // this entry point is for spot checks and tests.
+  const FeatureMaps maps(model);
   std::vector<double> v(model.feature_names.size(), 0.0);
-  const UnitRecord& rec = profile.units[unit_index];
-  for (std::size_t i = 0; i < rec.methods.size(); ++i) {
-    const auto& name = profile.method_names[rec.methods[i]];
-    if (auto it = feature_of.find(name); it != feature_of.end()) {
-      v[it->second] += static_cast<double>(rec.counts[i]);
-    }
-  }
-  double sum = 0.0;
-  for (double x : v) sum += x;
-  if (sum > 0.0) {
-    for (double& x : v) x /= sum;
-  }
+  std::vector<std::uint32_t> cols_scratch;
+  std::vector<double> vals_scratch;
+  accumulate_unit(model, profile, profile.units[unit_index], maps, v,
+                  cols_scratch, vals_scratch);
   return v;
 }
 
 stats::Matrix vectorize_units(const PhaseModel& model,
                               const ThreadProfile& profile,
                               std::size_t threads) {
-  // Hoisted name → feature-index map (the profile's method ids differ from
-  // the training run's, names are the stable identity), shared read-only by
-  // all row blocks.
-  std::unordered_map<std::string_view, std::size_t> feature_of;
-  for (std::size_t f = 0; f < model.feature_names.size(); ++f) {
-    feature_of.emplace(model.feature_names[f], f);
-  }
+  // Hoisted feature maps (the profile's method ids differ from the training
+  // run's, names are the stable identity; MAV columns are fixed), shared
+  // read-only by all row blocks.
+  const FeatureMaps maps(model);
   const std::size_t n = profile.num_units();
   stats::Matrix vectors(n, model.feature_names.size());
   support::parallel_for(
       threads, 0, n, 256,
       [&](std::size_t, std::size_t cb, std::size_t ce) {
+        std::vector<std::uint32_t> cols_scratch;
+        std::vector<double> vals_scratch;
         for (std::size_t u = cb; u < ce; ++u) {
-          auto v = vectors.row(u);
-          const UnitRecord& rec = profile.units[u];
-          double sum = 0.0;
-          for (std::size_t i = 0; i < rec.methods.size(); ++i) {
-            const auto& name = profile.method_names[rec.methods[i]];
-            if (auto it = feature_of.find(name); it != feature_of.end()) {
-              v[it->second] += static_cast<double>(rec.counts[i]);
-              sum += static_cast<double>(rec.counts[i]);
-            }
-          }
-          if (sum > 0.0) {
-            for (double& x : v) x /= sum;
-          }
+          accumulate_unit(model, profile, profile.units[u], maps,
+                          vectors.row(u), cols_scratch, vals_scratch);
         }
       });
   return vectors;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/profile.h"
+#include "features/feature_mode.h"
 #include "stats/descriptive.h"
 #include "stats/kmeans.h"
 #include "stats/matrix.h"
@@ -21,6 +22,10 @@
 namespace simprof::core {
 
 struct PhaseFormationConfig {
+  /// Feature space the units are vectorized into: method frequencies
+  /// (historical default, bit-identical to pre-MAV models), memory-access
+  /// vectors, or both (MAV columns first — see features/feature_mode.h).
+  features::FeatureMode features = features::FeatureMode::kFreq;
   std::size_t top_k_features = 100;  ///< paper: K = 100
   /// Minimum univariate F-statistic for a method to survive selection.
   /// Methods whose frequency does not significantly correlate with IPC are
@@ -78,7 +83,10 @@ struct PhaseStats {
 /// classify profiles whose method tables differ.
 struct PhaseModel {
   std::size_t k = 0;
-  std::vector<std::string> feature_names;  ///< selected methods, in order
+  /// Feature space this model was fitted in; vectorize_unit/vectorize_units
+  /// reproduce the same space when classifying other profiles.
+  features::FeatureMode feature_mode = features::FeatureMode::kFreq;
+  std::vector<std::string> feature_names;  ///< selected features, in order
   std::vector<jvm::OpKind> feature_kinds;
   stats::Matrix centers;                   ///< k × |features|
   std::vector<std::size_t> labels;         ///< per training unit
@@ -92,25 +100,36 @@ struct PhaseModel {
   std::vector<std::size_t> representative_units;
 };
 
-/// Full method-frequency matrix (units × methods), L1-row-normalized.
-/// Dense reference form — the hot paths use the CSR builder below and
-/// densify only selected columns; this stays as the equivalence oracle.
-stats::Matrix build_feature_matrix(const ThreadProfile& profile);
+/// Full feature matrix (units × feature_space_cols(mode)), L1-row-
+/// normalized. Dense reference form — the hot paths use the CSR builder
+/// below and densify only selected columns; this stays as the equivalence
+/// oracle in every feature mode.
+stats::Matrix build_feature_matrix(
+    const ThreadProfile& profile,
+    features::FeatureMode mode = features::FeatureMode::kFreq);
 
 /// The same matrix in CSR form, built directly from the unit records (a
 /// unit touches a few dozen methods out of thousands, so the dense form is
 /// ~99% zeros). Bitwise equivalent: to_dense() equals build_feature_matrix.
-stats::SparseMatrix build_sparse_feature_matrix(const ThreadProfile& profile);
+stats::SparseMatrix build_sparse_feature_matrix(
+    const ThreadProfile& profile,
+    features::FeatureMode mode = features::FeatureMode::kFreq);
 
-/// One unit's raw-count CSR row: method-id/count pairs sorted by method id
-/// with duplicate ids collapsed last-entry-wins — exactly the assignment
-/// semantics of the dense builder. Shared by build_sparse_feature_matrix and
-/// the streaming former's per-unit ingest so both paths produce bitwise the
+/// One unit's raw CSR row in the chosen feature space. Under kFreq:
+/// method-id/count pairs sorted by method id with duplicate ids collapsed
+/// last-entry-wins — exactly the assignment semantics of the dense builder,
+/// and bitwise the historical layout. Under kMav/kCombined the
+/// block-normalized MAV entries come first at columns [0, hw::kMavDim)
+/// (features::append_mav_entries) and kCombined method entries follow at
+/// +kMavDim, scaled to count/total so each unit's method block carries mass
+/// 1 like each MAV block. Shared by build_sparse_feature_matrix and the
+/// streaming former's per-unit ingest so both paths produce bitwise the
 /// same stored entries. Output lands in `cols`/`vals` (cleared first);
 /// `num_methods` bounds the ids.
-void unit_feature_entries(const UnitRecord& rec, std::size_t num_methods,
-                          std::vector<std::uint32_t>& cols,
-                          std::vector<double>& vals);
+void unit_feature_entries(
+    const UnitRecord& rec, std::size_t num_methods,
+    std::vector<std::uint32_t>& cols, std::vector<double>& vals,
+    features::FeatureMode mode = features::FeatureMode::kFreq);
 
 /// Fit phases on a profile.
 PhaseModel form_phases(const ThreadProfile& profile,

@@ -12,7 +12,9 @@ namespace simprof::core {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x53505246;  // "SPRF"
-constexpr std::uint32_t kVersion = 3;
+// Version 4: each unit carries its memory-access vector (hw::MavBlock,
+// kMavDim u64 counts) between the PMU counters and the method histogram.
+constexpr std::uint32_t kVersion = 4;
 }  // namespace
 
 std::vector<double> ThreadProfile::cpis() const {
@@ -60,6 +62,7 @@ void ThreadProfile::save(std::ostream& out) const {
     w.u64(u.counters.l2_misses);
     w.u64(u.counters.llc_misses);
     w.u64(u.counters.migrations);
+    for (const std::uint64_t c : u.mav.counts) w.u64(c);
     w.vec_u32(u.methods);
     w.vec_u32(u.counts);
   }
@@ -76,7 +79,8 @@ ThreadProfile ThreadProfile::load(std::istream& in) {
   }
   ThreadProfile p;
   // Each method entry is ≥ 9 bytes (u64 name length + kind byte); each unit
-  // is ≥ 80 bytes. Bounding the counts up front keeps a corrupt prefix from
+  // is ≥ 280 bytes (8 id + 56 counters + 8·kMavDim MAV + two vector length
+  // prefixes). Bounding the counts up front keeps a corrupt prefix from
   // sizing a reserve.
   const auto methods = r.u64();
   if (methods > r.remaining() / 9) {
@@ -93,7 +97,7 @@ ThreadProfile ThreadProfile::load(std::istream& in) {
     p.method_kinds.push_back(static_cast<jvm::OpKind>(kind));
   }
   const auto units = r.u64();
-  if (units > r.remaining() / 80) {
+  if (units > r.remaining() / 280) {
     throw SerializeError("corrupt archive: unit count exceeds file size");
   }
   p.units.reserve(units);
@@ -107,6 +111,7 @@ ThreadProfile ThreadProfile::load(std::istream& in) {
     u.counters.l2_misses = r.u64();
     u.counters.llc_misses = r.u64();
     u.counters.migrations = r.u64();
+    for (std::uint64_t& c : u.mav.counts) c = r.u64();
     u.methods = r.vec_u32();
     u.counts = r.vec_u32();
     if (u.methods.size() != u.counts.size()) {
@@ -130,13 +135,15 @@ void SamplingManager::on_snapshot(std::span<const jvm::MethodId> stack) {
   for (jvm::MethodId m : stack) ++current_histogram_[m];
 }
 
-void SamplingManager::on_unit_boundary(const hw::PmuCounters& delta) {
+void SamplingManager::on_unit_boundary(const hw::PmuCounters& delta,
+                                       const hw::MavBlock& mav) {
   // Progress feed for the heartbeat (units/s); observation only.
   static obs::Counter& units_done = obs::metrics().counter("progress.units");
   units_done.increment();
   UnitRecord u;
   u.unit_id = units_.size();
   u.counters = delta;
+  u.mav = mav;
   u.methods.reserve(current_histogram_.size());
   u.counts.reserve(current_histogram_.size());
   // Deterministic order: sorted by method id.

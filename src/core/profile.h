@@ -25,6 +25,7 @@ namespace simprof::core {
 struct UnitRecord {
   std::uint64_t unit_id = 0;
   hw::PmuCounters counters;              ///< deltas for this unit
+  hw::MavBlock mav;                      ///< memory-access vector (hw/mav.h)
   std::vector<jvm::MethodId> methods;    ///< methods seen in snapshots …
   std::vector<std::uint32_t> counts;     ///< … and their frame frequencies
 
@@ -63,7 +64,8 @@ class SamplingManager final : public exec::ProfilingHook {
       : registry_(&registry) {}
 
   void on_snapshot(std::span<const jvm::MethodId> stack) override;
-  void on_unit_boundary(const hw::PmuCounters& delta) override;
+  void on_unit_boundary(const hw::PmuCounters& delta,
+                        const hw::MavBlock& mav) override;
 
   std::size_t units_collected() const { return units_.size(); }
   std::uint64_t snapshots_collected() const { return snapshots_; }

@@ -59,7 +59,7 @@ std::size_t StreamingPhaseFormer::ingest(const ThreadProfile& source,
   adopt_method_table(source);
   const UnitRecord& rec = source.units[unit_index];
   unit_feature_entries(rec, profile_.num_methods(), cols_scratch_,
-                       vals_scratch_);
+                       vals_scratch_, cfg_.formation.features);
   raw_.append_row_grow(cols_scratch_, vals_scratch_);
   profile_.units.push_back(rec);
   ++total_ingested_;
@@ -99,19 +99,46 @@ void StreamingPhaseFormer::ingest_range(const ThreadProfile& source,
 std::size_t StreamingPhaseFormer::classify_latest() {
   // Vectorize the newest unit into the model's feature space (same
   // accumulate + L1-normalize-over-selected semantics as vectorize_unit,
-  // via the method-id fast path valid inside the adopted table).
+  // via the method-id fast path valid inside the adopted table; MAV
+  // contributions are the block-normalized entries, exactly what the
+  // training rows stored).
   const std::size_t d = model_.centers.cols();
   if (d == 0) return 0;  // single-phase collapse: everything is phase 0
   const UnitRecord& rec = profile_.units.back();
+  const auto mode = cfg_.formation.features;
   std::vector<double> v(d, 0.0);
   double sum = 0.0;
-  for (std::size_t i = 0; i < rec.methods.size(); ++i) {
-    const std::size_t m = rec.methods[i];
-    if (m >= feature_of_method_.size()) continue;  // method arrived post-fit
-    const std::size_t f = feature_of_method_[m];
-    if (f == kNone) continue;
-    v[f] += static_cast<double>(rec.counts[i]);
-    sum += static_cast<double>(rec.counts[i]);
+  if (mode != features::FeatureMode::kMav) {
+    double total = 0.0;
+    if (mode == features::FeatureMode::kCombined) {
+      for (const std::uint32_t c : rec.counts) {
+        total += static_cast<double>(c);
+      }
+    }
+    for (std::size_t i = 0; i < rec.methods.size(); ++i) {
+      const std::size_t m = rec.methods[i];
+      if (m >= feature_of_method_.size()) continue;  // arrived post-fit
+      const std::size_t f = feature_of_method_[m];
+      if (f == kNone) continue;
+      double val = static_cast<double>(rec.counts[i]);
+      if (mode == features::FeatureMode::kCombined) {
+        if (total <= 0.0) continue;
+        val /= total;
+      }
+      v[f] += val;
+      sum += val;
+    }
+  }
+  if (mode != features::FeatureMode::kFreq) {
+    cols_scratch_.clear();
+    vals_scratch_.clear();
+    features::append_mav_entries(rec.mav, 0, cols_scratch_, vals_scratch_);
+    for (std::size_t i = 0; i < cols_scratch_.size(); ++i) {
+      const std::size_t f = feature_of_mav_[cols_scratch_[i]];
+      if (f == kNone) continue;
+      v[f] += vals_scratch_[i];
+      sum += vals_scratch_[i];
+    }
   }
   if (sum > 0.0) {
     for (double& x : v) x /= sum;
@@ -158,18 +185,21 @@ void StreamingPhaseFormer::recluster() {
     stats::SparseMatrix rebuilt;
     for (const UnitRecord& rec : profile_.units) {
       unit_feature_entries(rec, profile_.num_methods(), cols_scratch_,
-                           vals_scratch_);
+                           vals_scratch_, cfg_.formation.features);
       rebuilt.append_row_grow(cols_scratch_, vals_scratch_);
     }
     raw_ = std::move(rebuilt);
   }
 
-  // Snapshot the accumulated raw matrix at the full current method space
+  // Snapshot the accumulated raw matrix at the full current feature space
   // and normalize — bitwise what build_sparse_feature_matrix would produce
   // for the retained profile, which is what makes finalize() bit-identical
-  // to the batch path.
+  // to the batch path. (Under kMav/kCombined the MAV block occupies the
+  // fixed low columns, so growing the method space still appends at the
+  // end.)
   stats::SparseMatrix snapshot = raw_;
-  snapshot.grow_cols(profile_.num_methods());
+  snapshot.grow_cols(features::feature_space_cols(cfg_.formation.features,
+                                                  profile_.num_methods()));
   snapshot.normalize_rows_l1();
   model_ = form_phases_from_sparse(profile_, snapshot, cfg_.formation);
 
@@ -184,9 +214,17 @@ void StreamingPhaseFormer::recluster() {
 
   // Method id → feature position, by name (feature identity is the name;
   // inside the adopted table ids are stable so the map is a flat vector).
+  // MAV features map by their fixed column index instead.
   std::unordered_map<std::string_view, std::size_t> pos;
   pos.reserve(model_.feature_names.size());
+  feature_of_mav_.fill(kNone);
   for (std::size_t f = 0; f < model_.feature_names.size(); ++f) {
+    if (cfg_.formation.features != features::FeatureMode::kFreq) {
+      if (auto mc = features::mav_feature_index(model_.feature_names[f])) {
+        feature_of_mav_[*mc] = f;
+        continue;
+      }
+    }
     pos.emplace(model_.feature_names[f], f);
   }
   feature_of_method_.assign(profile_.num_methods(), kNone);

@@ -38,6 +38,7 @@
 // window).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <functional>
 #include <vector>
@@ -136,6 +137,9 @@ class StreamingPhaseFormer {
   /// method id → feature position in model_ feature space (kNone if the
   /// method was not selected); rebuilt at each recluster.
   std::vector<std::size_t> feature_of_method_;
+  /// MAV column → feature position (kNone if not selected); used by the
+  /// live classifier under kMav/kCombined feature modes.
+  std::array<std::size_t, hw::kMavDim> feature_of_mav_{};
   std::vector<std::size_t> live_labels_;
   stats::Matrix pending_;        ///< vectorized units awaiting partial_fit
   std::size_t pending_rows_ = 0;

@@ -100,8 +100,10 @@ void Cluster::finish() {
       ctx.counters().instructions % cfg_.unit_instrs;
   if (into_unit >= cfg_.snapshot_interval) {
     hook_->on_unit_boundary(
-        ctx.counters().delta_since(ctx.unit_start_counters_));
+        ctx.counters().delta_since(ctx.unit_start_counters_),
+        ctx.unit_mav());
     ctx.unit_start_counters_ = ctx.counters();
+    ctx.mav_tracker_.reset();
   }
 }
 

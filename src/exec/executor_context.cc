@@ -60,7 +60,9 @@ void ExecutorContext::execute(std::uint64_t instrs, hw::AccessStream* stream) {
       hw::MemRef ref;
       double cycles = 0.0;
       while (stream->next(ref)) {
-        cycles += cluster_.memory().access(core_, ref);
+        const auto out = cluster_.memory().access_outcome(core_, ref);
+        cycles += out.cycles;
+        mav_tracker_.record(ref.line, out.level);
         ++counters_.line_touches;
         if (sink != nullptr) tape_refs_.push_back(ref);
       }
@@ -123,7 +125,9 @@ void ExecutorContext::execute(std::uint64_t instrs, hw::AccessStream* stream) {
     double cycles = static_cast<double>(step) * cost.base_cpi;
     if (sink != nullptr) tape_refs_.clear();
     while (refs_done < target && stream->next(ref)) {
-      cycles += cluster_.memory().access(core_, ref);
+      const auto out = cluster_.memory().access_outcome(core_, ref);
+      cycles += out.cycles;
+      mav_tracker_.record(ref.line, out.level);
       ++refs_done;
       ++counters_.line_touches;
       if (sink != nullptr) tape_refs_.push_back(ref);
@@ -163,9 +167,13 @@ void ExecutorContext::maybe_fire_boundaries() {
   }
   if (ip >= next_unit_at_) {
     if (detailed && hook != nullptr) {
-      hook->on_unit_boundary(counters_.delta_since(unit_start_counters_));
+      hook->on_unit_boundary(counters_.delta_since(unit_start_counters_),
+                             mav_tracker_.block());
     }
     unit_start_counters_ = counters_;
+    // Reset before the governor's sequence point so checkpoint archives
+    // never need to carry tracker state (it is empty exactly here).
+    mav_tracker_.reset();
     next_unit_at_ += cfg.unit_instrs;
     // OS scheduling noise: occasionally the executor thread is migrated to
     // another core; its private caches go cold (Section III-B.1). The draw
@@ -207,6 +215,9 @@ ThreadState ExecutorContext::capture_state() const {
 }
 
 void ExecutorContext::restore_state(const ThreadState& st) {
+  // Restores land at unit boundaries, where the saving context's tracker had
+  // just been reset — start empty so replayed units rebuild identical MAVs.
+  mav_tracker_.reset();
   counters_ = st.counters;
   cycles_acc_ = st.cycles_acc;
   thread_id_ = st.thread_id;

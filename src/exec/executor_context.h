@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hw/access_stream.h"
+#include "hw/mav.h"
 #include "hw/memory_system.h"
 #include "jvm/call_stack.h"
 #include "jvm/method.h"
@@ -35,8 +36,11 @@ class ProfilingHook {
   virtual ~ProfilingHook() = default;
   /// Called every snapshot interval with the live call stack (JVMTI-style).
   virtual void on_snapshot(std::span<const jvm::MethodId> stack) = 0;
-  /// Called at each sampling-unit boundary with the unit's counter deltas.
-  virtual void on_unit_boundary(const hw::PmuCounters& delta) = 0;
+  /// Called at each sampling-unit boundary with the unit's counter deltas
+  /// and its memory-access vector (zero counts when the unit ran without
+  /// cache simulation).
+  virtual void on_unit_boundary(const hw::PmuCounters& delta,
+                                const hw::MavBlock& mav) = 0;
 };
 
 /// Subscriber for the profiled core's detailed execution trace. execute()
@@ -129,6 +133,11 @@ class ExecutorContext final : public jvm::StackTraceSource {
   /// Instructions retired without detailed simulation (obs/bench counter).
   std::uint64_t ff_skipped_instrs() const { return ff_skipped_instrs_; }
 
+  /// Memory-access vector accumulated since the last unit boundary (the
+  /// trailing-partial-unit hook sites read this; see Cluster::finish and
+  /// the checkpoint replayer).
+  const hw::MavBlock& unit_mav() const { return mav_tracker_.block(); }
+
   /// Snapshot/overwrite the full thread state (checkpoint save/restore).
   ThreadState capture_state() const;
   void restore_state(const ThreadState& st);
@@ -176,6 +185,10 @@ class ExecutorContext final : public jvm::StackTraceSource {
   std::uint64_t next_snapshot_at_ = 0;
   std::uint64_t next_unit_at_ = 0;
   hw::PmuCounters unit_start_counters_;
+  /// Intra-unit reuse/level tracker; reset at every unit boundary *before*
+  /// the governor sequence point, so checkpoint save/restore never needs to
+  /// carry tracker state (it is empty exactly where archives snapshot).
+  hw::ReuseTracker mav_tracker_;
 
   // Checkpoint replay bookkeeping (profiled core only).
   ExecMode mode_ = ExecMode::kDetailed;

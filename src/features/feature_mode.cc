@@ -1,0 +1,107 @@
+#include "features/feature_mode.h"
+
+#include <array>
+
+#include "support/assert.h"
+
+namespace simprof::features {
+namespace {
+
+std::array<std::string, hw::kMavDim> make_mav_names() {
+  std::array<std::string, hw::kMavDim> names;
+  for (std::size_t b = 0; b < hw::kReuseBuckets; ++b) {
+    names[b] = "mav.reuse.b" + std::to_string(b);
+  }
+  for (std::size_t l = 0; l < hw::kLevelSlots; ++l) {
+    names[hw::kReuseBuckets + l] = "mav.level.l" + std::to_string(l);
+  }
+  return names;
+}
+
+const std::array<std::string, hw::kMavDim>& mav_names() {
+  static const std::array<std::string, hw::kMavDim> names = make_mav_names();
+  return names;
+}
+
+}  // namespace
+
+std::string_view to_string(FeatureMode mode) {
+  switch (mode) {
+    case FeatureMode::kFreq:
+      return "freq";
+    case FeatureMode::kMav:
+      return "mav";
+    case FeatureMode::kCombined:
+      return "combined";
+  }
+  SIMPROF_EXPECTS(false, "unknown feature mode");
+}
+
+std::optional<FeatureMode> parse_feature_mode(std::string_view name) {
+  if (name == "freq") return FeatureMode::kFreq;
+  if (name == "mav") return FeatureMode::kMav;
+  if (name == "combined") return FeatureMode::kCombined;
+  return std::nullopt;
+}
+
+std::size_t feature_space_cols(FeatureMode mode, std::size_t num_methods) {
+  switch (mode) {
+    case FeatureMode::kFreq:
+      return num_methods;
+    case FeatureMode::kMav:
+      return hw::kMavDim;
+    case FeatureMode::kCombined:
+      return hw::kMavDim + num_methods;
+  }
+  SIMPROF_EXPECTS(false, "unknown feature mode");
+}
+
+std::size_t method_col_offset(FeatureMode mode) {
+  return mode == FeatureMode::kFreq ? 0 : hw::kMavDim;
+}
+
+const std::string& mav_feature_name(std::size_t index) {
+  SIMPROF_EXPECTS(index < hw::kMavDim, "MAV feature index out of range");
+  return mav_names()[index];
+}
+
+std::optional<std::size_t> mav_feature_index(std::string_view name) {
+  // Names are few and fixed; a linear scan beats a map for 25 entries and
+  // rejects non-MAV (method) names on the cheap "mav." prefix test.
+  if (name.substr(0, 4) != "mav.") return std::nullopt;
+  const auto& names = mav_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+void append_mav_entries(const hw::MavBlock& mav, std::uint32_t base_col,
+                        std::vector<std::uint32_t>& cols,
+                        std::vector<double>& vals) {
+  std::uint64_t reuse_total = 0;
+  for (std::size_t b = 0; b < hw::kReuseBuckets; ++b) reuse_total += mav.reuse(b);
+  std::uint64_t level_total = 0;
+  for (std::size_t l = 0; l < hw::kLevelSlots; ++l) {
+    level_total += mav.counts[hw::kReuseBuckets + l];
+  }
+  if (reuse_total > 0) {
+    for (std::size_t b = 0; b < hw::kReuseBuckets; ++b) {
+      const std::uint64_t c = mav.reuse(b);
+      if (c == 0) continue;
+      cols.push_back(base_col + static_cast<std::uint32_t>(b));
+      vals.push_back(static_cast<double>(c) / static_cast<double>(reuse_total));
+    }
+  }
+  if (level_total > 0) {
+    for (std::size_t l = 0; l < hw::kLevelSlots; ++l) {
+      const std::uint64_t c = mav.counts[hw::kReuseBuckets + l];
+      if (c == 0) continue;
+      cols.push_back(base_col +
+                     static_cast<std::uint32_t>(hw::kReuseBuckets + l));
+      vals.push_back(static_cast<double>(c) / static_cast<double>(level_total));
+    }
+  }
+}
+
+}  // namespace simprof::features

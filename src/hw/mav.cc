@@ -1,0 +1,74 @@
+#include "hw/mav.h"
+
+#include <bit>
+#include <cstring>
+
+namespace simprof::hw {
+
+std::size_t reuse_bucket(std::uint64_t distance) {
+  if (distance == 0) return 0;
+  const auto width = static_cast<std::size_t>(std::bit_width(distance));
+  return width < kColdBucket - 1 ? width : kColdBucket - 1;
+}
+
+std::uint64_t MavBlock::total() const {
+  std::uint64_t t = 0;
+  for (std::size_t b = 0; b < kReuseBuckets; ++b) t += counts[b];
+  return t;
+}
+
+std::uint64_t ReuseTracker::prefix(std::uint64_t i) const {
+  std::uint64_t s = 0;
+  for (; i > 0; i -= i & (~i + 1)) s += bit_[i];
+  return s;
+}
+
+void ReuseTracker::add(std::uint64_t i, std::uint64_t delta) {
+  for (; i < bit_.size(); i += i & (~i + 1)) bit_[i] += delta;
+}
+
+void ReuseTracker::record(LineAddr line, AccessLevel level) {
+  ++now_;
+  if (now_ >= bit_.size()) {
+    // Double the timestamp capacity and rebuild the Fenwick tree from the
+    // plain marks (a resized tree's new nodes cover old positions, so a
+    // zero-extend alone would be wrong). Amortized O(1) per access.
+    std::size_t cap = bit_.empty() ? 1024 : bit_.size() * 2;
+    while (cap <= now_) cap *= 2;
+    mark_.resize(cap, 0);
+    bit_.assign(cap, 0);
+    for (std::uint64_t i = 1; i < now_; ++i) {
+      if (mark_[i]) add(i, 1);
+    }
+  }
+
+  auto [it, cold] = last_.try_emplace(line, now_);
+  if (cold) {
+    ++block_.counts[kColdBucket];
+  } else {
+    const std::uint64_t t0 = it->second;
+    // Distinct lines touched strictly between the previous touch and now:
+    // every line's most recent position carries one mark, so the count is a
+    // prefix-sum difference over (t0, now_ - 1].
+    const std::uint64_t distance = prefix(now_ - 1) - prefix(t0);
+    ++block_.counts[reuse_bucket(distance)];
+    add(t0, static_cast<std::uint64_t>(-1));
+    mark_[t0] = 0;
+    it->second = now_;
+  }
+  add(now_, 1);
+  mark_[now_] = 1;
+  ++block_.counts[kReuseBuckets + static_cast<std::size_t>(level)];
+}
+
+void ReuseTracker::reset() {
+  block_ = MavBlock{};
+  last_.clear();
+  if (now_ > 0) {
+    std::memset(bit_.data(), 0, bit_.size() * sizeof(bit_[0]));
+    std::memset(mark_.data(), 0, mark_.size() * sizeof(mark_[0]));
+  }
+  now_ = 0;
+}
+
+}  // namespace simprof::hw

@@ -1,0 +1,102 @@
+// Memory-access vectors (MAV): per-unit memory-behaviour signatures.
+//
+// "Memory Access Vectors" (Caculo et al.) showed that sampling fidelity
+// improves when sampling units are characterized by *memory behaviour*, not
+// just instruction mix. This module gives the oracle pass that vocabulary:
+// while the profiled core replays its references through the cache
+// hierarchy, a ReuseTracker folds every touch into a fixed-width MavBlock —
+// a log2-bucketed reuse-distance histogram plus a which-level-served-it
+// histogram. The block is reset at every sampling-unit boundary, so a unit's
+// MAV depends only on the unit's own reference stream (plus the warm cache
+// state it inherited, via the level histogram) — which is exactly what makes
+// checkpointed tape replay reproduce it bit-identically: restore the cache
+// state, re-execute the unit's tape, and the tracker sees the same touches
+// in the same order.
+//
+// Reuse distance here is the classic stack distance: the number of
+// *distinct* cache lines touched between two consecutive touches of the same
+// line, computed exactly with a last-position map plus a Fenwick tree over
+// access timestamps (O(log n) per access, n = accesses within the unit).
+// First touches within a unit land in the dedicated cold bucket — the
+// tracker is intra-unit by construction, so "cold" means "no prior touch in
+// this unit", a deterministic property of the unit itself.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/cache.h"
+
+namespace simprof::hw {
+
+/// Which level of the hierarchy served a reference (cost-model order).
+enum class AccessLevel : std::uint8_t {
+  kL1 = 0,
+  kL2 = 1,
+  kLlc = 2,
+  kDram = 3,
+  kDramPrefetched = 4,
+};
+
+/// Reuse-distance buckets: bucket 0 holds distance 0 (immediate re-touch),
+/// bucket b in [1, 18] holds distances with bit_width d == b (i.e. d in
+/// [2^(b-1), 2^b)), saturating at bucket 18; bucket 19 is the cold bucket
+/// (first touch of the line within the unit).
+inline constexpr std::size_t kReuseBuckets = 20;
+inline constexpr std::size_t kColdBucket = kReuseBuckets - 1;
+/// One slot per AccessLevel value.
+inline constexpr std::size_t kLevelSlots = 5;
+/// Total MAV width: reuse histogram followed by the level histogram.
+inline constexpr std::size_t kMavDim = kReuseBuckets + kLevelSlots;
+
+/// Reuse-distance bucket for a finite stack distance.
+std::size_t reuse_bucket(std::uint64_t distance);
+
+/// One sampling unit's memory-access vector: counts[0, kReuseBuckets) is the
+/// reuse-distance histogram (cold touches in kColdBucket), counts at
+/// kReuseBuckets + level is the per-level service histogram. Both halves sum
+/// to the number of tracked line touches.
+struct MavBlock {
+  std::array<std::uint64_t, kMavDim> counts{};
+
+  std::uint64_t reuse(std::size_t bucket) const { return counts[bucket]; }
+  std::uint64_t level(AccessLevel l) const {
+    return counts[kReuseBuckets + static_cast<std::size_t>(l)];
+  }
+  std::uint64_t total() const;
+
+  bool operator==(const MavBlock&) const = default;
+};
+
+/// Exact intra-unit reuse-distance tracker. Feed it every line touch of the
+/// profiled core (in execution order) with the level that served it; read
+/// block() at the unit boundary and reset(). State is O(distinct lines
+/// touched since reset); reset keeps capacity so steady-state units do not
+/// reallocate.
+class ReuseTracker {
+ public:
+  void record(LineAddr line, AccessLevel level);
+  void reset();
+  const MavBlock& block() const { return block_; }
+  /// No touches recorded since the last reset (checkpoint sequence points
+  /// happen exactly here, so trackers never need snapshotting).
+  bool empty() const { return now_ == 0; }
+
+ private:
+  std::uint64_t prefix(std::uint64_t i) const;
+  void add(std::uint64_t i, std::uint64_t delta);
+
+  MavBlock block_;
+  std::unordered_map<LineAddr, std::uint64_t> last_;  ///< line → timestamp
+  /// Fenwick tree (1-based) over timestamps; a set bit marks the *most
+  /// recent* touch position of some line, so a prefix-sum difference counts
+  /// distinct lines touched in a timestamp interval.
+  std::vector<std::uint64_t> bit_;
+  std::vector<std::uint8_t> mark_;  ///< plain marks, for capacity rebuilds
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace simprof::hw

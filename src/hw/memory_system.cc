@@ -29,13 +29,17 @@ MemorySystem::MemorySystem(const MemorySystemConfig& cfg) : cfg_(cfg) {
   llc_ = std::make_unique<Cache>(cfg.llc);
 }
 
-double MemorySystem::access(std::uint32_t core, const MemRef& ref) {
+MemorySystem::AccessOutcome MemorySystem::access_outcome(std::uint32_t core,
+                                                         const MemRef& ref) {
   SIMPROF_EXPECTS(core < l1_.size(), "core out of range");
   const CostModel& c = cfg_.cost;
-  if (l1_[core]->access(ref.line)) return c.l1_hit_cycles;
-  if (l2_[core]->access(ref.line)) return c.l2_hit_cycles;
-  if (llc_->access(ref.line)) return c.llc_hit_cycles;
-  return ref.prefetchable ? c.dram_prefetched_cycles : c.dram_cycles;
+  if (l1_[core]->access(ref.line)) return {c.l1_hit_cycles, AccessLevel::kL1};
+  if (l2_[core]->access(ref.line)) return {c.l2_hit_cycles, AccessLevel::kL2};
+  if (llc_->access(ref.line)) return {c.llc_hit_cycles, AccessLevel::kLlc};
+  return ref.prefetchable
+             ? AccessOutcome{c.dram_prefetched_cycles,
+                             AccessLevel::kDramPrefetched}
+             : AccessOutcome{c.dram_cycles, AccessLevel::kDram};
 }
 
 void MemorySystem::migrate(std::uint32_t core) {

@@ -14,6 +14,7 @@
 
 #include "hw/access_stream.h"
 #include "hw/cache.h"
+#include "hw/mav.h"
 
 namespace simprof::hw {
 
@@ -70,8 +71,20 @@ class MemorySystem {
   std::uint32_t num_cores() const { return static_cast<std::uint32_t>(l1_.size()); }
   const MemorySystemConfig& config() const { return cfg_; }
 
+  /// Cycle cost of one reference plus which level served it (the MAV
+  /// tracker's input; see hw/mav.h).
+  struct AccessOutcome {
+    double cycles = 0.0;
+    AccessLevel level = AccessLevel::kL1;
+  };
+
+  /// Replay one reference for `core`; returns the cost and serving level.
+  AccessOutcome access_outcome(std::uint32_t core, const MemRef& ref);
+
   /// Replay one reference for `core`; returns the cycle cost of the touch.
-  double access(std::uint32_t core, const MemRef& ref);
+  double access(std::uint32_t core, const MemRef& ref) {
+    return access_outcome(core, ref).cycles;
+  }
 
   /// OS migrated the executor thread: its private caches go cold.
   void migrate(std::uint32_t core);

@@ -54,6 +54,8 @@ ClientTally run_client(const LoadgenConfig& cfg, std::size_t client_index) {
     q.sample_n = cfg.sample_n;
     q.stream = cfg.stream ? 1 : 0;
     q.stream_retain = cfg.stream_retain;
+    q.features = cfg.features;
+    q.estimator = cfg.estimator;
     const auto payload = pack_message(MsgKind::kProfileRequest, id,
                                       [&](BinaryWriter& w) { q.write(w); });
     outstanding.emplace(id, Clock::now());

@@ -41,6 +41,8 @@ void ProfileRequest::write(BinaryWriter& w) const {
   w.u8(want_profile_bytes);
   w.u8(stream);
   w.u64(stream_retain);
+  w.u8(features);
+  w.u8(estimator);
 }
 
 ProfileRequest ProfileRequest::read(BinaryReader& r) {
@@ -54,6 +56,8 @@ ProfileRequest ProfileRequest::read(BinaryReader& r) {
   q.want_profile_bytes = r.u8();
   q.stream = r.u8();
   q.stream_retain = r.u64();
+  q.features = r.u8();
+  q.estimator = r.u8();
   return q;
 }
 
@@ -68,6 +72,8 @@ void ProfileResult::write(BinaryWriter& w) const {
   w.vec_u64(selected_units);
   w.vec_f64(weights);
   w.str(profile_bytes);
+  w.u8(features);
+  w.u8(estimator);
 }
 
 ProfileResult ProfileResult::read(BinaryReader& r) {
@@ -82,6 +88,8 @@ ProfileResult ProfileResult::read(BinaryReader& r) {
   v.selected_units = r.vec_u64();
   v.weights = r.vec_f64();
   v.profile_bytes = r.str();
+  v.features = r.u8();
+  v.estimator = r.u8();
   return v;
 }
 

@@ -31,7 +31,10 @@
 namespace simprof::service {
 
 inline constexpr std::uint32_t kProtocolMagic = 0x43525053;  // "SPRC"
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: ProfileRequest carries the feature mode + estimator selectors (and
+/// ProfileResult echoes them), so a client can pin the analysis
+/// configuration per request.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Frame payload cap — a profile blob for the largest lab run is well under
 /// this; anything bigger is a corrupt or hostile length prefix.
 inline constexpr std::uint64_t kMaxFrameBytes = 256ull << 20;
@@ -86,6 +89,13 @@ struct ProfileRequest {
   std::uint8_t want_profile_bytes = 0;
   std::uint8_t stream = 0;
   std::uint64_t stream_retain = 0;
+  /// features::FeatureMode for phase formation (v2). The oracle pass and
+  /// its cache key are mode-independent — distinct modes over the same
+  /// workload config still dedup into one lab run; only the analysis
+  /// differs.
+  std::uint8_t features = 0;
+  /// 0 = Neyman (simprof_sample), 1 = two-phase (two_phase_sample) (v2).
+  std::uint8_t estimator = 0;
 
   void write(BinaryWriter& w) const;
   static ProfileRequest read(BinaryReader& r);
@@ -102,6 +112,8 @@ struct ProfileResult {
   std::vector<std::uint64_t> selected_units;
   std::vector<double> weights;
   std::string profile_bytes;  ///< ThreadProfile::save blob (when requested)
+  std::uint8_t features = 0;   ///< echo of the request's feature mode (v2)
+  std::uint8_t estimator = 0;  ///< echo of the request's estimator (v2)
 
   void write(BinaryWriter& w) const;
   static ProfileResult read(BinaryReader& r);

@@ -1,0 +1,67 @@
+#include "stats/two_phase.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace simprof::stats {
+
+std::vector<std::size_t> two_phase_allocation(
+    std::span<const std::size_t> phase1_counts,
+    std::span<const double> prior_stddevs, std::size_t total,
+    std::size_t min_per_stratum) {
+  SIMPROF_EXPECTS(phase1_counts.size() == prior_stddevs.size(),
+                  "phase-1 counts / priors length mismatch");
+  std::vector<Stratum> strata;
+  strata.reserve(phase1_counts.size());
+  for (std::size_t h = 0; h < phase1_counts.size(); ++h) {
+    strata.push_back(Stratum{phase1_counts[h], prior_stddevs[h], 0.0});
+  }
+  return optimal_allocation(strata, total, min_per_stratum);
+}
+
+TwoPhaseEstimate two_phase_estimate(std::span<const TwoPhaseStratum> strata,
+                                    double z) {
+  TwoPhaseEstimate out;
+  // Weights come from the phase-1 classification; only strata that were
+  // actually measured in phase 2 can contribute, so renormalize over them.
+  double nprime = 0.0;
+  double measured_weight = 0.0;
+  for (const auto& s : strata) {
+    nprime += static_cast<double>(s.phase1_count);
+    if (s.sample_size > 0) {
+      measured_weight += static_cast<double>(s.phase1_count);
+    }
+  }
+  if (nprime <= 0.0 || measured_weight <= 0.0) {
+    out.ci = confidence_interval(0.0, 0.0, z);
+    return out;
+  }
+
+  auto sanitize = [](double v) { return std::isfinite(v) ? v : 0.0; };
+
+  double mean = 0.0;
+  for (const auto& s : strata) {
+    if (s.phase1_count == 0 || s.sample_size == 0) continue;
+    const double w = static_cast<double>(s.phase1_count) / measured_weight;
+    mean += w * sanitize(s.sample_mean);
+  }
+  out.mean = mean;
+
+  double within = 0.0;
+  double between = 0.0;
+  for (const auto& s : strata) {
+    if (s.phase1_count == 0 || s.sample_size == 0) continue;
+    const double w = static_cast<double>(s.phase1_count) / measured_weight;
+    const double sd = sanitize(s.sample_stddev);
+    within += w * w * sd * sd / static_cast<double>(s.sample_size);
+    const double d = sanitize(s.sample_mean) - mean;
+    between += w * d * d;
+  }
+  out.variance = within + between / nprime;
+  out.standard_error = std::sqrt(out.variance);
+  out.ci = confidence_interval(out.mean, out.standard_error, z);
+  return out;
+}
+
+}  // namespace simprof::stats

@@ -1,0 +1,67 @@
+// Two-phase stratified estimation — double sampling for stratification
+// (Cochran, Sampling Techniques, §12.2–12.3), the companion estimator to
+// Neyman allocation in stratified.h.
+//
+// Neyman's Eq. 1 assumes the stratum weights W_h = N_h/N are known exactly,
+// which in SimProf means classifying *every* sampling unit before choosing
+// the sample. Double sampling drops that requirement: a large, cheap phase-1
+// simple random sample of n′ units is only *classified* (phase labels are
+// cheap — a nearest-center lookup), producing estimated weights
+// w′_h = n′_h/n′; a small phase-2 subsample of n units drawn from the
+// phase-1 sample is then *measured* in detail. The price is an extra
+// variance term for the estimated weights:
+//
+//   ȳ_ds = Σ_h w′_h · ȳ_h                                  (point estimate)
+//   V̂(ȳ_ds) = Σ_h w′_h² s_h² / n_h                         (within-stratum)
+//            + (1/n′) Σ_h w′_h (ȳ_h − ȳ_ds)²               (weight noise)
+//
+// Edge conventions (verified by the src/verify oracle harness, mirroring
+// stratified.h): a singleton measured stratum contributes s_h = 0; a
+// non-finite s_h or ȳ_h is treated as 0; strata that received no phase-2
+// measurement are skipped and the remaining w′_h renormalized, so degenerate
+// fits yield a finite (possibly zero-width) CI rather than NaN.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/stratified.h"
+
+namespace simprof::stats {
+
+/// One stratum of a double-sampling design, as observed by the two phases.
+struct TwoPhaseStratum {
+  std::size_t phase1_count = 0;  ///< n′_h — phase-1 units classified into h
+  std::size_t sample_size = 0;   ///< n_h — phase-2 units actually measured
+  double sample_mean = 0.0;      ///< ȳ_h over the measured units
+  double sample_stddev = 0.0;    ///< s_h (sample stddev; 0 for singletons)
+};
+
+struct TwoPhaseEstimate {
+  double mean = 0.0;            ///< ȳ_ds
+  double variance = 0.0;        ///< V̂(ȳ_ds), both terms
+  double standard_error = 0.0;  ///< √V̂
+  ConfidenceInterval ci{};      ///< at the z passed in
+};
+
+/// Phase-2 allocation: distribute `total` measured slots across the strata
+/// observed in phase 1, Neyman-style against prior deviations (n_h ∝
+/// n′_h·σ_h, optimal_allocation underneath, so all its edge conventions
+/// apply: per-stratum caps at n′_h, min_per_stratum floor for non-empty
+/// strata, proportional fallback when every prior is 0, and non-finite or
+/// negative priors treated as 0). `phase1_counts` and `prior_stddevs` must
+/// be the same length.
+std::vector<std::size_t> two_phase_allocation(
+    std::span<const std::size_t> phase1_counts,
+    std::span<const double> prior_stddevs, std::size_t total,
+    std::size_t min_per_stratum = 1);
+
+/// The double-sampling point estimate, variance and CI for measured strata.
+/// Strata with phase1_count = 0 or sample_size = 0 are skipped and the
+/// weights renormalized over the rest; if nothing was measured the estimate
+/// is all-zero.
+TwoPhaseEstimate two_phase_estimate(std::span<const TwoPhaseStratum> strata,
+                                    double z = kZ997);
+
+}  // namespace simprof::stats

@@ -90,11 +90,11 @@ VerifyReport verify_roundtrip(std::uint64_t seed, std::size_t cases) {
              std::to_string(cases) + " randomized profiles, " +
                  std::to_string(bad) + " mismatches");
 
-  // Golden archive: frozen v3 bytes must decode to the handcrafted fixture
+  // Golden archive: frozen v4 bytes must decode to the handcrafted fixture
   // and re-serialize to exactly the frozen bytes.
   {
-    const std::string golden(reinterpret_cast<const char*>(kGoldenArchiveV3),
-                             sizeof kGoldenArchiveV3);
+    const std::string golden(reinterpret_cast<const char*>(kGoldenArchiveV4),
+                             sizeof kGoldenArchiveV4);
     bool decodes = false;
     bool identical = false;
     bool matches_fixture = false;

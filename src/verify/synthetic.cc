@@ -30,6 +30,13 @@ core::ThreadProfile random_profile(Rng& rng) {
     rec.counters.l2_misses = rng.next_below(1 << 12);
     rec.counters.llc_misses = rng.next_below(1 << 8);
     rec.counters.migrations = rng.next_below(4);
+    // Sparse random MAV: most buckets empty like real units, zero whole
+    // blocks sometimes (compute-only units record no accesses).
+    if (!rng.next_bool(0.2)) {
+      for (std::size_t b = 0; b < hw::kMavDim; ++b) {
+        if (rng.next_bool(0.3)) rec.mav.counts[b] = rng.next_below(1 << 12);
+      }
+    }
     // Sorted strictly-increasing subset of the method table (possibly empty),
     // mirroring SamplingManager's sorted-histogram output.
     for (std::size_t m = 0; m < num_methods; ++m) {
@@ -61,6 +68,15 @@ core::ThreadProfile golden_profile() {
     rec.counters.migrations = 0;
     rec.methods = {0, static_cast<std::uint32_t>(u + 1)};
     rec.counts = {10, 30 + 5 * static_cast<std::uint32_t>(u)};
+    // Deterministic MAV: a short reuse spectrum plus a level mix that
+    // shifts toward DRAM with u, so every MAV byte of the archive is
+    // exercised with unit-dependent values.
+    rec.mav.counts[0] = 11 + u;
+    rec.mav.counts[3] = 7 * (u + 1);
+    rec.mav.counts[hw::kColdBucket] = 2 + u;
+    rec.mav.counts[hw::kReuseBuckets + 0] = 900 - 100 * u;
+    rec.mav.counts[hw::kReuseBuckets + 2] = 40 + 10 * u;
+    rec.mav.counts[hw::kReuseBuckets + 3] = 5 * u;
     p.units.push_back(std::move(rec));
   }
   return p;

@@ -15,6 +15,7 @@
 
 #include "core/lab.h"
 #include "obs/obs.h"
+#include "support/serialize.h"
 
 namespace simprof::core {
 namespace {
@@ -123,6 +124,43 @@ TEST(LabBatch, MixedHitsAndMissesKeepItemOrder) {
   EXPECT_FALSE(runs[0].from_cache);
   EXPECT_TRUE(runs[1].from_cache);
   EXPECT_EQ(profile_bytes(runs[1].profile), profile_bytes(warm.profile));
+}
+
+TEST(LabCache, StaleSchemaFileIsACountedMissNeverAWrongNumber) {
+  ScratchDir dir;
+  WorkloadLab warm_lab(small_lab(dir.c_str()));
+  const LabRun warm = warm_lab.run("grep_sp");
+  ASSERT_FALSE(warm.cache_path.empty());
+  const std::string golden = profile_bytes(warm.profile);
+
+  // Overwrite the cache file with an otherwise-plausible archive written
+  // under an older schema: good magic, pre-MAV version, empty body. The
+  // decoder must reject it on the version field, not misparse the body.
+  {
+    std::ofstream out(warm.cache_path, std::ios::binary | std::ios::trunc);
+    BinaryWriter w(out);
+    w.u32(0x53505246);  // "SPRF"
+    w.u32(3);           // stale pre-MAV profile version
+    w.u64(0);           // no methods
+    w.u64(0);           // no units
+  }
+
+  const std::uint64_t corrupt0 = counter_value("lab.cache_corrupt");
+  const std::uint64_t misses0 = counter_value("lab.cache_misses");
+  WorkloadLab lab(small_lab(dir.c_str()));
+  const LabRun rerun = lab.run("grep_sp");
+  // The stale file is a logged miss — never served as a hit, never a wrong
+  // number: the oracle pass reruns and reproduces the original bytes.
+  EXPECT_FALSE(rerun.from_cache);
+  EXPECT_EQ(counter_value("lab.cache_corrupt") - corrupt0, 1u);
+  EXPECT_EQ(counter_value("lab.cache_misses") - misses0, 1u);
+  EXPECT_EQ(profile_bytes(rerun.profile), golden);
+
+  // The regenerated file is a current-schema hit on the next lab.
+  WorkloadLab again(small_lab(dir.c_str()));
+  const LabRun hit = again.run("grep_sp");
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(profile_bytes(hit.profile), golden);
 }
 
 TEST(LabSingleFlight, ConcurrentSameKeyRunsOracleOnce) {

@@ -28,7 +28,7 @@ TEST(SamplingManager, AccumulatesSnapshotsIntoUnitHistograms) {
   hw::PmuCounters delta;
   delta.instructions = 1000;
   delta.cycles = 1500;
-  mgr.on_unit_boundary(delta);
+  mgr.on_unit_boundary(delta, {});
 
   ThreadProfile p = mgr.take_profile();
   ASSERT_EQ(p.num_units(), 1u);
@@ -46,10 +46,10 @@ TEST(SamplingManager, HistogramResetsBetweenUnits) {
   SamplingManager mgr(reg);
   const std::vector<jvm::MethodId> s{a};
   mgr.on_snapshot(s);
-  mgr.on_unit_boundary({});
+  mgr.on_unit_boundary({}, {});
   mgr.on_snapshot(s);
   mgr.on_snapshot(s);
-  mgr.on_unit_boundary({});
+  mgr.on_unit_boundary({}, {});
   ThreadProfile p = mgr.take_profile();
   ASSERT_EQ(p.num_units(), 2u);
   EXPECT_EQ(p.units[0].counts[0], 1u);
@@ -63,7 +63,7 @@ TEST(SamplingManager, RecursiveFramesCountPerAppearance) {
   SamplingManager mgr(reg);
   const std::vector<jvm::MethodId> deep{a, a, a};
   mgr.on_snapshot(deep);
-  mgr.on_unit_boundary({});
+  mgr.on_unit_boundary({}, {});
   ThreadProfile p = mgr.take_profile();
   EXPECT_EQ(p.units[0].counts[0], 3u);
 }

@@ -12,6 +12,7 @@
 #include "core/phase.h"
 #include "core/sampling.h"
 #include "core/streaming.h"
+#include "features/feature_mode.h"
 #include "support/assert.h"
 #include "support/rng.h"
 #include "test_util.h"
@@ -71,6 +72,25 @@ TEST(StreamingPhaseFormer, InOrderFinalizeIsBitIdenticalToBatch) {
   expect_models_bit_identical(streamed, batch);
   EXPECT_EQ(former.units_ingested(), p.num_units());
   EXPECT_EQ(former.units_retained(), p.num_units());
+}
+
+TEST(StreamingPhaseFormer, InOrderFinalizeMatchesBatchInEveryFeatureMode) {
+  const auto p = testing::synthetic_profile(
+      {{70, 0.5, 0.02, 1}, {70, 2.0, 0.05, 2}, {70, 1.2, 0.03, 3}});
+  for (const auto mode :
+       {features::FeatureMode::kFreq, features::FeatureMode::kMav,
+        features::FeatureMode::kCombined}) {
+    SCOPED_TRACE(features::to_string(mode));
+    StreamingConfig scfg;
+    scfg.formation.features = mode;
+    StreamingPhaseFormer former{scfg};
+    former.ingest_range(p, 0, p.num_units());
+    const PhaseModel streamed = former.finalize();
+    PhaseFormationConfig pcfg;
+    pcfg.features = mode;
+    expect_models_bit_identical(streamed, form_phases(p, pcfg));
+    EXPECT_EQ(streamed.feature_mode, mode);
+  }
 }
 
 TEST(StreamingPhaseFormer, ShuffledArrivalConvergesWithinTolerance) {

@@ -18,7 +18,8 @@ class StackRecorder final : public ProfilingHook {
   void on_snapshot(std::span<const jvm::MethodId> stack) override {
     stacks.emplace_back(stack.begin(), stack.end());
   }
-  void on_unit_boundary(const hw::PmuCounters&) override {}
+  void on_unit_boundary(const hw::PmuCounters&, const hw::MavBlock&) override {
+  }
   std::vector<std::vector<jvm::MethodId>> stacks;
 };
 

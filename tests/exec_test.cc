@@ -20,11 +20,14 @@ class RecordingHook final : public ProfilingHook {
   void on_snapshot(std::span<const jvm::MethodId> stack) override {
     snapshots.emplace_back(stack.begin(), stack.end());
   }
-  void on_unit_boundary(const hw::PmuCounters& delta) override {
+  void on_unit_boundary(const hw::PmuCounters& delta,
+                        const hw::MavBlock& mav) override {
     units.push_back(delta);
+    mavs.push_back(mav);
   }
   std::vector<std::vector<jvm::MethodId>> snapshots;
   std::vector<hw::PmuCounters> units;
+  std::vector<hw::MavBlock> mavs;
 };
 
 TEST(Cluster, ConfigValidation) {
@@ -68,6 +71,40 @@ TEST(Cluster, UnitBoundariesCarryCounterDeltas) {
   cluster.finish();  // flush the half unit
   ASSERT_EQ(hook.units.size(), 3u);
   EXPECT_EQ(hook.units[2].instructions, 50'000u);
+}
+
+TEST(Cluster, UnitBoundariesCarryMavsThatResetPerUnit) {
+  Cluster cluster(testing::tiny_cluster_config());
+  RecordingHook hook;
+  cluster.set_profiling_hook(&hook);
+  auto& ctx = cluster.context(0);
+  hw::SequentialStream stream(0, 64 * 4096);
+  ctx.execute(200'000, &stream);  // 2 units of 100k with memory traffic
+  ASSERT_EQ(hook.mavs.size(), 2u);
+  ASSERT_EQ(hook.mavs.size(), hook.units.size());
+  for (std::size_t i = 0; i < hook.mavs.size(); ++i) {
+    const auto& m = hook.mavs[i];
+    EXPECT_GT(m.total(), 0u) << "unit " << i;
+    // Both halves of the MAV count the same touches: the reuse histogram
+    // (cold bucket included) and the level histogram must agree in mass.
+    std::uint64_t reuse_sum = 0;
+    for (std::size_t b = 0; b < hw::kReuseBuckets; ++b) {
+      reuse_sum += m.reuse(b);
+    }
+    std::uint64_t level_sum = 0;
+    for (std::size_t l = 0; l < hw::kLevelSlots; ++l) {
+      level_sum += m.counts[hw::kReuseBuckets + l];
+    }
+    EXPECT_EQ(reuse_sum, level_sum) << "unit " << i;
+    // A fresh sequential sweep begins with a cold first touch.
+    if (i == 0) EXPECT_GT(m.reuse(hw::kColdBucket), 0u);
+  }
+  // The tracker resets at every unit boundary: a compute-only unit right
+  // after the memory-heavy ones reports an all-zero MAV, not a carry-over.
+  ctx.compute(100'000);
+  ASSERT_EQ(hook.mavs.size(), 3u);
+  EXPECT_EQ(hook.mavs[2].total(), 0u);
+  EXPECT_EQ(hook.mavs[2], hw::MavBlock{});
 }
 
 TEST(Cluster, FinishIgnoresTinyTail) {

@@ -11,6 +11,7 @@
 #include "core/phase.h"
 #include "core/profile.h"
 #include "core/sensitivity.h"
+#include "features/feature_mode.h"
 #include "stats/feature_select.h"
 #include "stats/kmeans.h"
 #include "stats/silhouette.h"
@@ -133,6 +134,13 @@ core::ThreadProfile synthetic_profile(std::size_t units) {
     u.counters.instructions = 1'000'000;
     u.counters.cycles =
         1'000'000 + static_cast<std::uint64_t>(rng.next_below(2'000'000));
+    // Sparse MAV so the mav/combined feature modes have real columns; some
+    // units stay MAV-empty (compute-only).
+    if (i % 5 != 4) {
+      for (std::size_t b = 0; b < hw::kMavDim; ++b) {
+        if (rng.next_bool(0.4)) u.mav.counts[b] = rng.next_below(4096);
+      }
+    }
     for (int j = 0; j < 6; ++j) {
       u.methods.push_back(static_cast<jvm::MethodId>((i + 7ull * j) % 40));
       u.counts.push_back(static_cast<std::uint32_t>(1 + rng.next_below(20)));
@@ -158,6 +166,65 @@ TEST(ParallelDeterminism, FormPhasesIdenticalAcrossThreadCounts) {
     EXPECT_EQ(model.representative_units, base.representative_units)
         << "threads=" << t;
     expect_same_matrix(model.centers, base.centers);
+  }
+}
+
+TEST(ParallelDeterminism, FormPhasesIdenticalAcrossThreadCountsEveryMode) {
+  // The acceptance contract of the feature subsystem: for every feature
+  // mode, thread count is invisible in the formed model, bitwise.
+  const core::ThreadProfile profile = synthetic_profile(400);
+  for (const auto mode :
+       {features::FeatureMode::kFreq, features::FeatureMode::kMav,
+        features::FeatureMode::kCombined}) {
+    core::PhaseFormationConfig cfg;
+    cfg.features = mode;
+    cfg.threads = 1;
+    const core::PhaseModel base = core::form_phases(profile, cfg);
+    EXPECT_EQ(base.feature_mode, mode);
+    for (std::size_t t : thread_sweep()) {
+      cfg.threads = t;
+      const core::PhaseModel model = core::form_phases(profile, cfg);
+      EXPECT_EQ(model.k, base.k)
+          << "mode=" << features::to_string(mode) << " threads=" << t;
+      EXPECT_EQ(model.labels, base.labels)
+          << "mode=" << features::to_string(mode) << " threads=" << t;
+      EXPECT_EQ(model.silhouette_scores, base.silhouette_scores)
+          << "mode=" << features::to_string(mode) << " threads=" << t;
+      EXPECT_EQ(model.feature_names, base.feature_names)
+          << "mode=" << features::to_string(mode) << " threads=" << t;
+      EXPECT_EQ(model.representative_units, base.representative_units)
+          << "mode=" << features::to_string(mode) << " threads=" << t;
+      expect_same_matrix(model.centers, base.centers);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, DenseAndSparseFeatureMatricesMatchEveryMode) {
+  // The dense builder is the equivalence oracle for the CSR hot path —
+  // bitwise, per mode, including the mode-specific column layouts.
+  const core::ThreadProfile profile = synthetic_profile(150);
+  for (const auto mode :
+       {features::FeatureMode::kFreq, features::FeatureMode::kMav,
+        features::FeatureMode::kCombined}) {
+    const stats::Matrix dense = core::build_feature_matrix(profile, mode);
+    const stats::SparseMatrix sparse =
+        core::build_sparse_feature_matrix(profile, mode);
+    ASSERT_EQ(sparse.cols(),
+              features::feature_space_cols(mode, profile.num_methods()))
+        << "mode=" << features::to_string(mode);
+    expect_same_matrix(sparse.to_dense(), dense);
+
+    // And the models formed from each are bitwise the same.
+    core::PhaseFormationConfig cfg;
+    cfg.features = mode;
+    cfg.threads = 1;
+    const core::PhaseModel from_dense_path = core::form_phases(profile, cfg);
+    const core::PhaseModel from_sparse =
+        core::form_phases_from_sparse(profile, sparse, cfg);
+    EXPECT_EQ(from_sparse.k, from_dense_path.k);
+    EXPECT_EQ(from_sparse.labels, from_dense_path.labels);
+    EXPECT_EQ(from_sparse.feature_names, from_dense_path.feature_names);
+    expect_same_matrix(from_sparse.centers, from_dense_path.centers);
   }
 }
 

@@ -19,6 +19,7 @@
 #include "core/lab.h"
 #include "core/phase.h"
 #include "core/sampling.h"
+#include "features/feature_mode.h"
 #include "obs/obs.h"
 #include "service/admission.h"
 #include "service/client.h"
@@ -86,6 +87,8 @@ TEST(ServiceProtocol, ProfileMessagesRoundTrip) {
   q.want_profile_bytes = 1;
   q.stream = 1;
   q.stream_retain = 77;
+  q.features = 2;   // combined
+  q.estimator = 1;  // two-phase
   const ProfileRequest q2 = roundtrip(q);
   EXPECT_EQ(q2.workload, q.workload);
   EXPECT_EQ(q2.input, q.input);
@@ -96,6 +99,8 @@ TEST(ServiceProtocol, ProfileMessagesRoundTrip) {
   EXPECT_EQ(q2.want_profile_bytes, q.want_profile_bytes);
   EXPECT_EQ(q2.stream, q.stream);
   EXPECT_EQ(q2.stream_retain, q.stream_retain);
+  EXPECT_EQ(q2.features, q.features);
+  EXPECT_EQ(q2.estimator, q.estimator);
 
   ProfileResult res;
   res.from_cache = 1;
@@ -108,12 +113,16 @@ TEST(ServiceProtocol, ProfileMessagesRoundTrip) {
   res.selected_units = {2, 9, 17};
   res.weights = {0.5, 0.25, 0.25};
   res.profile_bytes = std::string("bin\0ary\x01\xff", 9);  // embedded NULs
+  res.features = 1;
+  res.estimator = 1;
   const ProfileResult res2 = roundtrip(res);
   EXPECT_EQ(res2.units, res.units);
   EXPECT_EQ(res2.selected_units, res.selected_units);
   EXPECT_EQ(res2.weights, res.weights);
   EXPECT_EQ(res2.profile_bytes, res.profile_bytes);
   EXPECT_EQ(res2.oracle_cpi, res.oracle_cpi);
+  EXPECT_EQ(res2.features, res.features);
+  EXPECT_EQ(res2.estimator, res.estimator);
 
   StreamUpdate u;
   u.recluster = 4;
@@ -382,6 +391,76 @@ TEST(ServiceServer, ConcurrentSameConfigClientsShareOneOraclePass) {
                 shared0,
             kClients - 1);
   EXPECT_EQ(server.stats().completed, kClients);
+}
+
+TEST(ServiceServer, DistinctFeatureModesShareOraclePassNotAnalysis) {
+  ScratchDir dir;
+  ServiceConfig cfg = small_service(dir);
+  ServiceServer server(cfg);
+  server.start();
+
+  const std::uint64_t misses0 = counter_value("lab.cache_misses");
+
+  // Four requests over ONE workload configuration: every feature mode plus
+  // a two-phase-estimator variant. The oracle pass must dedup to a single
+  // run (the cache key is mode-independent), while each request gets its
+  // own analysis — distinct modes must NOT collapse into one result.
+  struct Case {
+    std::uint8_t features;
+    std::uint8_t estimator;
+  };
+  const Case cases[] = {{0, 0}, {1, 0}, {2, 0}, {2, 1}};
+  std::vector<ServiceClient::ProfileReply> replies;
+  for (const Case& c : cases) {
+    ProfileRequest q;
+    q.workload = "grep_sp";
+    q.want_profile_bytes = 1;
+    q.features = c.features;
+    q.estimator = c.estimator;
+    ServiceClient client(cfg.socket_path);
+    replies.push_back(client.profile(q));
+  }
+
+  // An out-of-range selector is a typed bad request, not a crash.
+  {
+    ProfileRequest q;
+    q.workload = "grep_sp";
+    q.features = 9;
+    ServiceClient client(cfg.socket_path);
+    EXPECT_EQ(client.profile(q).status, Status::kBadRequest);
+  }
+  server.request_stop();
+  server.wait();
+
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    ASSERT_EQ(replies[i].status, Status::kOk) << replies[i].message;
+    EXPECT_EQ(replies[i].result.features, cases[i].features);
+    EXPECT_EQ(replies[i].result.estimator, cases[i].estimator);
+    // Same oracle pass → same profile bytes for every mode.
+    EXPECT_EQ(replies[i].result.profile_bytes, replies[0].result.profile_bytes);
+  }
+  EXPECT_EQ(counter_value("lab.cache_misses") - misses0, 1u);
+
+  // Each reply's analysis is bit-identical to the library run under its own
+  // mode/estimator — the proof that per-request analysis was not deduped.
+  std::istringstream is(replies[0].result.profile_bytes);
+  const core::ThreadProfile profile = core::ThreadProfile::load(is);
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    core::PhaseFormationConfig fc;
+    fc.features = static_cast<features::FeatureMode>(cases[i].features);
+    fc.threads = 1;
+    const core::PhaseModel model = core::form_phases(profile, fc);
+    EXPECT_EQ(replies[i].result.phase_count, model.k) << "case " << i;
+    const auto n = std::min<std::size_t>(8, profile.num_units());
+    const core::SamplePlan plan =
+        cases[i].estimator == 1
+            ? core::two_phase_sample(profile, model, n, 42)
+            : core::simprof_sample(profile, model, n, 42);
+    EXPECT_EQ(replies[i].result.estimated_cpi, plan.estimated_cpi)
+        << "case " << i;
+    EXPECT_EQ(replies[i].result.standard_error, plan.standard_error)
+        << "case " << i;
+  }
 }
 
 TEST(ServiceServer, OverQuotaIsATypedRejectionNotAHang) {

@@ -8,6 +8,7 @@
 
 #include "core/profile.h"
 #include "exec/cluster.h"
+#include "hw/mav.h"
 #include "support/rng.h"
 
 namespace simprof::testing {
@@ -63,6 +64,18 @@ inline core::ThreadProfile synthetic_profile(
       u.methods = {jvm::MethodId{0}, phases[i].dominant_method};
       u.counts = {10, 30};
       p.units.push_back(std::move(u));
+    }
+  }
+  // Deterministic sparse MAV blocks so mav/combined feature modes have
+  // signal. A separate Rng keeps the CPI/stack draws above bit-identical to
+  // what freq-mode tests have always seen; kFreq features ignore MAV.
+  Rng mav_rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  for (std::size_t i = 0; i < p.units.size(); ++i) {
+    if (i % 7 == 6) continue;  // some units keep an all-zero MAV
+    for (std::size_t b = 0; b < hw::kMavDim; ++b) {
+      if (mav_rng.next_bool(0.4)) {
+        p.units[i].mav.counts[b] = mav_rng.next_below(2048);
+      }
     }
   }
   return p;

@@ -71,6 +71,7 @@
 #include "core/sensitivity.h"
 #include "core/streaming.h"
 #include "data/catalog.h"
+#include "features/feature_mode.h"
 #include "obs/obs.h"
 #include "service/loadgen.h"
 #include "service/server.h"
@@ -138,11 +139,18 @@ const std::vector<CommandSpec> kCommands = {
       {"stream-batch", "N",
        "mini-batch size for streaming center refinement (default 8)"},
       {"stream-retain", "N",
-       "streaming retention cap in units, 0 = retain all (default 0)"}}},
+       "streaming retention cap in units, 0 = retain all (default 0)"},
+      {"features", "MODE",
+       "feature space for --stream phase formation: freq|mav|combined "
+       "(default freq)"},
+      {"estimator", "E",
+       "stratified estimator for --stream interim selections: "
+       "neyman|two-phase (default neyman)"}}},
     {"phases",
      "<profile.sprf>",
      "form phases from a saved profile and print the phase table",
-     {}},
+     {{"features", "MODE",
+       "feature space: freq|mav|combined (default freq)"}}},
     {"sample",
      "<profile.sprf>",
      "draw simulation points with a sampling technique",
@@ -150,18 +158,33 @@ const std::vector<CommandSpec> kCommands = {
       {"technique", "T",
        "simprof|srs|second|code|systematic|smarts|simprof-sys "
        "(default simprof)"},
-      {"seed", "N", "sampling seed (default 1)"}}},
+      {"seed", "N", "sampling seed (default 1)"},
+      {"features", "MODE",
+       "feature space for phase formation: freq|mav|combined "
+       "(default freq)"},
+      {"estimator", "E",
+       "stratified estimator for the simprof technique: neyman|two-phase "
+       "(default neyman)"}}},
     {"size",
      "<profile.sprf>",
      "required sample size for a target error bound",
      {{"error", "E", "relative error margin (default 0.05)"},
-      {"confidence", "PCT", "confidence level: 90|95|99|99.7 (default 99.7)"}}},
+      {"confidence", "PCT", "confidence level: 90|95|99|99.7 (default 99.7)"},
+      {"features", "MODE",
+       "feature space for phase formation: freq|mav|combined "
+       "(default freq)"}}},
     {"sensitivity",
      "<workload>",
      "train on one input, test phase sensitivity across the rest",
      {{"train", "NAME", "training graph input (default Google)"},
       {"scale", "S", "workload scale factor (default 1.0)"},
-      {"seed", "N", "simulation seed (default 42)"}}},
+      {"seed", "N", "simulation seed (default 42)"},
+      {"features", "MODE",
+       "feature space for phase formation: freq|mav|combined "
+       "(default freq)"},
+      {"estimator", "E",
+       "stratified estimator for the point-budget sample: neyman|two-phase "
+       "(default neyman)"}}},
     {"measure",
      "<workload>",
      "measure selected sampling units via checkpoint restore + "
@@ -171,7 +194,13 @@ const std::vector<CommandSpec> kCommands = {
       {"seed", "N", "simulation seed (default 42)"},
       {"units", "LIST", "comma-separated unit ids (overrides -n)"},
       {"n", "N", "SMARTS systematic selection size (default 10)"},
-      {"sample-seed", "N", "selection seed for -n (default 1)"}}},
+      {"sample-seed", "N", "selection seed for -n (default 1)"},
+      {"features", "MODE",
+       "feature space for --estimator selection: freq|mav|combined "
+       "(default freq)"},
+      {"estimator", "E",
+       "select units with a stratified plan instead of SMARTS and report "
+       "its weighted CPI estimate: neyman|two-phase"}}},
     {"verify",
      "",
      "fault-injection + oracle verification of the archive/cache and "
@@ -223,6 +252,12 @@ const std::vector<CommandSpec> kCommands = {
       {"stream", "", "request streaming analysis with interim selections"},
       {"stream-retain", "N",
        "requested streaming retention cap in units (default 0)"},
+      {"features", "MODE",
+       "feature space for daemon-side analysis: freq|mav|combined "
+       "(default freq)"},
+      {"estimator", "E",
+       "stratified estimator for daemon-side selections: neyman|two-phase "
+       "(default neyman)"},
       {"json", "FILE", "write the loadgen report as JSON"}}},
     {"report",
      "<base.json> <new.json> | <manifest-dir>",
@@ -370,6 +405,71 @@ bool confidence_to_z(double pct, double& z) {
   return false;
 }
 
+/// Parse --features into a feature mode (default freq). Returns false after
+/// a diagnostic on an unknown name.
+bool parse_features_arg(const Args& args, features::FeatureMode& mode) {
+  const std::string s = args.opt("features", "freq");
+  if (const auto m = features::parse_feature_mode(s)) {
+    mode = *m;
+    return true;
+  }
+  std::cerr << "error: --features must be freq|mav|combined (got '" << s
+            << "')\n";
+  return false;
+}
+
+enum class EstimatorKind { kNeyman, kTwoPhase };
+
+/// Parse --estimator (default neyman). Returns false after a diagnostic on
+/// an unknown name.
+bool parse_estimator_arg(const Args& args, EstimatorKind& est) {
+  const std::string s = args.opt("estimator", "neyman");
+  if (s == "neyman") {
+    est = EstimatorKind::kNeyman;
+    return true;
+  }
+  if (s == "two-phase" || s == "two_phase") {
+    est = EstimatorKind::kTwoPhase;
+    return true;
+  }
+  std::cerr << "error: --estimator must be neyman|two-phase (got '" << s
+            << "')\n";
+  return false;
+}
+
+/// The stratified plan under the chosen estimator: classic Neyman-allocated
+/// SimProf or double sampling for stratification.
+core::SamplePlan stratified_plan(const core::ThreadProfile& profile,
+                                 const core::PhaseModel& model, std::size_t n,
+                                 std::uint64_t seed, EstimatorKind est) {
+  return est == EstimatorKind::kTwoPhase
+             ? core::two_phase_sample(profile, model, n, seed)
+             : core::simprof_sample(profile, model, n, seed);
+}
+
+/// Publish the estimator-grid quality figures for a stratified plan: the
+/// generic figures always, plus the mode/estimator-specific names the
+/// report gate tracks (lower is better for all of them).
+void set_plan_quality(const core::SamplePlan& plan,
+                      const core::ThreadProfile& profile,
+                      features::FeatureMode mode, EstimatorKind est) {
+  obs::ledger().set_quality("sampling_error_frac",
+                            core::relative_error(plan, profile));
+  const bool has_ci = plan.estimated_cpi > 0.0 && plan.ci.margin > 0.0;
+  if (has_ci) {
+    obs::ledger().set_quality("ci_rel_width",
+                              plan.ci.margin / plan.estimated_cpi);
+  }
+  if (mode != features::FeatureMode::kFreq) {
+    obs::ledger().set_quality("mav_sampling_error_frac",
+                              core::relative_error(plan, profile));
+  }
+  if (est == EstimatorKind::kTwoPhase && has_ci) {
+    obs::ledger().set_quality("two_phase_ci_rel_width",
+                              plan.ci.margin / plan.estimated_cpi);
+  }
+}
+
 /// Fold the global checkpoint flags into a lab configuration.
 bool apply_checkpoint_flags(const Args& args, core::LabConfig& cfg) {
   cfg.checkpoint_dir = args.opt("checkpoint-dir", "");
@@ -416,6 +516,11 @@ int cmd_profile(const Args& args) {
   cfg.seed = std::stoull(args.opt("seed", "42"));
   cfg.use_cache = false;
   if (!apply_checkpoint_flags(args, cfg)) return 2;
+  features::FeatureMode mode = features::FeatureMode::kFreq;
+  EstimatorKind est = EstimatorKind::kNeyman;
+  if (!parse_features_arg(args, mode) || !parse_estimator_arg(args, est)) {
+    return 2;
+  }
   core::WorkloadLab lab(cfg);
   const std::string input = args.opt("input", "Google");
   obs::ledger().set_config("workload", workload);
@@ -445,11 +550,12 @@ int cmd_profile(const Args& args) {
     scfg.warmup_units = std::stoull(args.opt("stream-warmup", "16"));
     scfg.refine_batch = std::stoull(args.opt("stream-batch", "8"));
     scfg.max_retained_units = std::stoull(args.opt("stream-retain", "0"));
+    scfg.formation.features = mode;
     core::StreamingPhaseFormer former(scfg);
     former.set_update_hook([&](const core::StreamingPhaseFormer& f) {
       const std::size_t n = std::min<std::size_t>(16, f.units_retained());
-      const auto plan =
-          core::simprof_sample(f.profile(), f.model(), n, cfg.seed);
+      const auto plan = stratified_plan(f.profile(), f.model(), n, cfg.seed,
+                                        est);
       std::cout << "stream: recluster " << f.reclusters() << " @ "
                 << f.units_ingested() << " units -> k=" << f.model().k
                 << ", interim selection " << plan.sample_size()
@@ -462,10 +568,15 @@ int cmd_profile(const Args& args) {
     // Quality figures vs the batch model on the same profile — the manifest
     // carries both the streamed structure and its distance from batch, so
     // `simprof report` gates streaming drift across runs.
-    const core::PhaseModel batch = core::form_phases(run.profile);
+    core::PhaseFormationConfig pcfg;
+    pcfg.features = mode;
+    const core::PhaseModel batch = core::form_phases(run.profile, pcfg);
     const double phase_delta = static_cast<double>(
         streamed.k > batch.k ? streamed.k - batch.k : batch.k - streamed.k);
     obs::ledger().set_config("stream", "1");
+    obs::ledger().set_config("features", std::string(features::to_string(mode)));
+    obs::ledger().set_config(
+        "estimator", est == EstimatorKind::kTwoPhase ? "two-phase" : "neyman");
     obs::ledger().set_quality("stream_phase_count",
                               static_cast<double>(streamed.k));
     if (streamed.k >= 1 && streamed.k <= streamed.silhouette_scores.size()) {
@@ -484,9 +595,14 @@ int cmd_profile(const Args& args) {
 
 int cmd_phases(const Args& args) {
   const auto profile = load_profile(args.positional[0]);
-  const auto model = core::form_phases(profile);
+  features::FeatureMode mode = features::FeatureMode::kFreq;
+  if (!parse_features_arg(args, mode)) return 2;
+  core::PhaseFormationConfig pcfg;
+  pcfg.features = mode;
+  const auto model = core::form_phases(profile, pcfg);
   const auto cov = core::cov_summary(profile, model);
   obs::ledger().set_config("profile", args.positional[0]);
+  obs::ledger().set_config("features", std::string(features::to_string(mode)));
   obs::ledger().set_quality("phase_count", static_cast<double>(model.k));
   if (model.k >= 1 && model.k <= model.silhouette_scores.size()) {
     obs::ledger().set_quality("silhouette",
@@ -514,7 +630,9 @@ int cmd_phases(const Args& args) {
            Table::num(model.phases[h].mean_cpi),
            Table::num(model.phases[h].cov),
            std::string(jvm::to_string(model.phase_types[h])),
-           model.feature_names.empty() ? "-" : model.feature_names[best]});
+           model.feature_names.empty() || bw < 0.0
+               ? "-"
+               : model.feature_names[best]});
   }
   t.print_aligned(std::cout);
   return 0;
@@ -525,6 +643,11 @@ int cmd_sample(const Args& args) {
   const auto n = static_cast<std::size_t>(std::stoul(args.opt("n", "20")));
   const auto seed = std::stoull(args.opt("seed", "1"));
   const std::string tech = args.opt("technique", "simprof");
+  features::FeatureMode mode = features::FeatureMode::kFreq;
+  EstimatorKind est = EstimatorKind::kNeyman;
+  if (!parse_features_arg(args, mode) || !parse_estimator_arg(args, est)) {
+    return 2;
+  }
 
   core::SamplePlan plan;
   if (tech == "srs") {
@@ -536,11 +659,13 @@ int cmd_sample(const Args& args) {
   } else if (tech == "smarts") {
     plan = core::smarts_sample(profile, n, seed);
   } else if (tech == "code" || tech == "simprof" || tech == "simprof-sys") {
-    const auto model = core::form_phases(profile);
+    core::PhaseFormationConfig pcfg;
+    pcfg.features = mode;
+    const auto model = core::form_phases(profile, pcfg);
     plan = tech == "code"
                ? core::code_sample(profile, model)
                : (tech == "simprof"
-                      ? core::simprof_sample(profile, model, n, seed)
+                      ? stratified_plan(profile, model, n, seed, est)
                       : core::simprof_systematic_sample(profile, model, n,
                                                         seed));
   } else {
@@ -554,12 +679,10 @@ int cmd_sample(const Args& args) {
   obs::ledger().set_config("technique", tech);
   obs::ledger().set_config("n", args.opt("n", "20"));
   obs::ledger().set_config("seed", args.opt("seed", "1"));
-  obs::ledger().set_quality("sampling_error_frac",
-                            core::relative_error(plan, profile));
-  if (plan.estimated_cpi > 0.0 && plan.ci.margin > 0.0) {
-    obs::ledger().set_quality("ci_rel_width",
-                              plan.ci.margin / plan.estimated_cpi);
-  }
+  obs::ledger().set_config("features", std::string(features::to_string(mode)));
+  obs::ledger().set_config(
+      "estimator", est == EstimatorKind::kTwoPhase ? "two-phase" : "neyman");
+  set_plan_quality(plan, profile, mode, est);
   std::cout << to_string(plan.technique) << " selected "
             << plan.sample_size() << " simulation points\n";
   std::cout << "estimate " << Table::num(plan.estimated_cpi, 4) << " vs oracle "
@@ -578,7 +701,11 @@ int cmd_sample(const Args& args) {
 
 int cmd_size(const Args& args) {
   const auto profile = load_profile(args.positional[0]);
-  const auto model = core::form_phases(profile);
+  features::FeatureMode mode = features::FeatureMode::kFreq;
+  if (!parse_features_arg(args, mode)) return 2;
+  core::PhaseFormationConfig pcfg;
+  pcfg.features = mode;
+  const auto model = core::form_phases(profile, pcfg);
   const double err = std::stod(args.opt("error", "0.05"));
   const double conf = std::stod(args.opt("confidence", "99.7"));
   double z = 3.0;
@@ -602,6 +729,11 @@ int cmd_sensitivity(const Args& args) {
   cfg.scale = std::stod(args.opt("scale", "1.0"));
   cfg.seed = std::stoull(args.opt("seed", "42"));
   if (!apply_checkpoint_flags(args, cfg)) return 2;
+  features::FeatureMode mode = features::FeatureMode::kFreq;
+  EstimatorKind est = EstimatorKind::kNeyman;
+  if (!parse_features_arg(args, mode) || !parse_estimator_arg(args, est)) {
+    return 2;
+  }
   core::WorkloadLab lab(cfg);
   const std::string train_name = args.opt("train", "Google");
   // One batch covers the training input and every reference: cache misses
@@ -619,7 +751,9 @@ int cmd_sensitivity(const Args& args) {
             << " reference inputs as one batch...\n";
   auto runs = lab.run_batch(items);
   const auto train = std::move(runs.front());
-  const auto model = core::form_phases(train.profile);
+  core::PhaseFormationConfig pcfg;
+  pcfg.features = mode;
+  const auto model = core::form_phases(train.profile, pcfg);
 
   std::vector<const core::ThreadProfile*> ptrs;
   for (std::size_t i = 1; i < runs.size(); ++i) {
@@ -628,14 +762,18 @@ int cmd_sensitivity(const Args& args) {
   const auto report = core::input_sensitivity_test(model, ptrs, names);
   obs::ledger().set_config("workload", workload);
   obs::ledger().set_config("train", train_name);
+  obs::ledger().set_config("features", std::string(features::to_string(mode)));
+  obs::ledger().set_config(
+      "estimator", est == EstimatorKind::kTwoPhase ? "two-phase" : "neyman");
   obs::ledger().set_quality("phase_count", static_cast<double>(model.k));
   obs::ledger().set_quality("sensitive_phases",
                             static_cast<double>(report.num_sensitive()));
+  const auto budget_plan = stratified_plan(train.profile, model, 20, 1, est);
+  set_plan_quality(budget_plan, train.profile, mode, est);
   std::cout << report.num_sensitive() << "/" << model.k
             << " phases input-sensitive; simulation points needed per "
                "reference input: "
-            << Table::pct(report.sensitive_point_fraction(
-                   core::simprof_sample(train.profile, model, 20, 1)))
+            << Table::pct(report.sensitive_point_fraction(budget_plan))
             << '\n';
   return 0;
 }
@@ -652,6 +790,16 @@ int cmd_measure(const Args& args) {
   // The oracle pass populates the profile cache and (stride permitting)
   // records the checkpoint archives the fast path restores from.
   auto run = lab.run(workload, input);
+
+  // --estimator switches the selection from SMARTS-systematic to a
+  // stratified plan over the formed phases (in the chosen feature space);
+  // the measured units then feed that plan's weighted CPI estimate.
+  features::FeatureMode mode = features::FeatureMode::kFreq;
+  if (!parse_features_arg(args, mode)) return 2;
+  EstimatorKind est = EstimatorKind::kNeyman;
+  const bool stratified = args.has("estimator");
+  if (stratified && !parse_estimator_arg(args, est)) return 2;
+  core::SamplePlan plan;
 
   std::vector<std::uint64_t> units;
   if (const std::string list = args.opt("units", ""); !list.empty()) {
@@ -673,7 +821,14 @@ int cmd_measure(const Args& args) {
   } else {
     const auto n = static_cast<std::size_t>(std::stoul(args.opt("n", "10")));
     const auto sample_seed = std::stoull(args.opt("sample-seed", "1"));
-    const auto plan = core::smarts_sample(run.profile, n, sample_seed);
+    if (stratified) {
+      core::PhaseFormationConfig pcfg;
+      pcfg.features = mode;
+      const auto model = core::form_phases(run.profile, pcfg);
+      plan = stratified_plan(run.profile, model, n, sample_seed, est);
+    } else {
+      plan = core::smarts_sample(run.profile, n, sample_seed);
+    }
     for (const auto& pt : plan.points) {
       units.push_back(run.profile.units[pt.unit_index].unit_id);
     }
@@ -683,6 +838,13 @@ int cmd_measure(const Args& args) {
   obs::ledger().set_config("workload", workload);
   obs::ledger().set_config("input", input);
   obs::ledger().set_config("seed", args.opt("seed", "42"));
+  if (stratified) {
+    obs::ledger().set_config("features",
+                             std::string(features::to_string(mode)));
+    obs::ledger().set_config(
+        "estimator",
+        est == EstimatorKind::kTwoPhase ? "two-phase" : "neyman");
+  }
   obs::ledger().set_quality("units_measured",
                             static_cast<double>(m.records.size()));
   Table t({"unit_id", "instructions", "cycles", "cpi"});
@@ -696,6 +858,40 @@ int cmd_measure(const Args& args) {
             << "checkpoints_restored=" << m.checkpoints_restored
             << " fallback=" << (m.fallback ? 1 : 0)
             << " fast_forwarded_instrs=" << m.fast_forwarded_instrs << '\n';
+
+  if (stratified && !plan.points.empty()) {
+    // The plan's weights (which sum to 1) applied to the *measured* per-unit
+    // CPIs — the estimator the measured sample actually induces.
+    std::map<std::uint64_t, double> cpi_of;
+    for (const auto& u : m.records) cpi_of[u.unit_id] = u.cpi();
+    double estimate = 0.0;
+    bool complete = true;
+    for (const auto& pt : plan.points) {
+      const auto it = cpi_of.find(run.profile.units[pt.unit_index].unit_id);
+      if (it == cpi_of.end()) {
+        complete = false;
+        break;
+      }
+      estimate += pt.weight * it->second;
+    }
+    if (complete) {
+      const double oracle = run.profile.oracle_cpi();
+      const double err =
+          oracle > 0.0 ? std::abs(estimate - oracle) / oracle : 0.0;
+      obs::ledger().set_quality("sampling_error_frac", err);
+      if (mode != features::FeatureMode::kFreq) {
+        obs::ledger().set_quality("mav_sampling_error_frac", err);
+      }
+      if (est == EstimatorKind::kTwoPhase && plan.estimated_cpi > 0.0 &&
+          plan.ci.margin > 0.0) {
+        obs::ledger().set_quality("two_phase_ci_rel_width",
+                                  plan.ci.margin / plan.estimated_cpi);
+      }
+      std::cout << "stratified estimate " << Table::num(estimate, 4)
+                << " vs oracle " << Table::num(oracle, 4) << " (error "
+                << Table::pct(err, 2) << ")\n";
+    }
+  }
   return 0;
 }
 
@@ -1048,6 +1244,13 @@ int cmd_loadgen(const Args& args) {
   cfg.analyze = !args.has("no-analyze");
   cfg.stream = args.has("stream");
   cfg.vary_seed = args.has("vary-seed");
+  features::FeatureMode mode = features::FeatureMode::kFreq;
+  EstimatorKind est = EstimatorKind::kNeyman;
+  if (!parse_features_arg(args, mode) || !parse_estimator_arg(args, est)) {
+    return 2;
+  }
+  cfg.features = static_cast<std::uint8_t>(mode);
+  cfg.estimator = est == EstimatorKind::kTwoPhase ? 1 : 0;
 
   const service::LoadgenReport report = service::run_loadgen(cfg);
 
